@@ -1,0 +1,35 @@
+#pragma once
+
+// Shared plumbing for the per-figure benchmark binaries: each binary runs
+// its google-benchmark cases, then prints the paper table/figure data it
+// regenerates.  The custom main keeps the figure output at the end of the
+// log, after the timing table.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#define HACC_BENCH_MAIN(print_figure)                                \
+  int main(int argc, char** argv) {                                  \
+    benchmark::Initialize(&argc, argv);                              \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                             \
+    benchmark::Shutdown();                                           \
+    print_figure();                                                  \
+    return 0;                                                        \
+  }
+
+namespace hacc::bench {
+
+inline void print_rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void print_header(const char* title) {
+  print_rule('=');
+  std::printf("%s\n", title);
+  print_rule('=');
+}
+
+}  // namespace hacc::bench

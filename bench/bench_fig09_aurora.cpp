@@ -1,0 +1,23 @@
+// Figure 9: application efficiency of SYCL variants on Aurora.  The paper's
+// shape: Select always worst (indirect register access); no single variant
+// consistently best; Broadcast wins the atomic-heavy kernels.
+
+#include "fig_variants.hpp"
+
+namespace {
+using namespace hacc;
+
+void BM_AuroraEfficiencyTable(benchmark::State& state) {
+  bench::run_efficiency_benchmark(state, platform::aurora());
+}
+BENCHMARK(BM_AuroraEfficiencyTable);
+
+void print_fig() {
+  bench::print_variant_figure(platform::aurora(),
+                              "Figure 9: application efficiency of SYCL variants on Aurora");
+  std::printf("\nPaper shape: Select always worst; best variant kernel-dependent;\n"
+              "selecting the best variant per kernel improves performance 2-5x.\n");
+}
+}  // namespace
+
+HACC_BENCH_MAIN(print_fig)

@@ -1,0 +1,24 @@
+// Figure 10: application efficiency of SYCL variants on Polaris (A100).
+// The paper's shape: Select always best (native warp shuffles); Broadcast
+// up to ~10x slower on register-heavy kernels (spills); Memory variants
+// worst on the register-heavy kernels (shared-memory/L1 trade-off).
+
+#include "fig_variants.hpp"
+
+namespace {
+using namespace hacc;
+
+void BM_PolarisEfficiencyTable(benchmark::State& state) {
+  bench::run_efficiency_benchmark(state, platform::polaris());
+}
+BENCHMARK(BM_PolarisEfficiencyTable);
+
+void print_fig() {
+  bench::print_variant_figure(platform::polaris(),
+                              "Figure 10: application efficiency of SYCL variants on Polaris");
+  std::printf("\nPaper shape: Select always best; Broadcast almost 10x slower in\n"
+              "some cases; no vISA variant exists for NVIDIA hardware.\n");
+}
+}  // namespace
+
+HACC_BENCH_MAIN(print_fig)

@@ -1,0 +1,24 @@
+// Figure 11: application efficiency of SYCL variants on Frontier (MI250X).
+// The paper's shape: Select best; local memory almost always second (one
+// exception); Broadcast near 0.6 — MI250X sits architecturally between
+// Intel's SIMD machine and NVIDIA's shuffle machine.
+
+#include "fig_variants.hpp"
+
+namespace {
+using namespace hacc;
+
+void BM_FrontierEfficiencyTable(benchmark::State& state) {
+  bench::run_efficiency_benchmark(state, platform::frontier());
+}
+BENCHMARK(BM_FrontierEfficiencyTable);
+
+void print_fig() {
+  bench::print_variant_figure(platform::frontier(),
+                              "Figure 11: application efficiency of SYCL variants on Frontier");
+  std::printf("\nPaper shape: Select best; Memory almost always second; Broadcast\n"
+              "typically ~0.6 application efficiency.\n");
+}
+}  // namespace
+
+HACC_BENCH_MAIN(print_fig)

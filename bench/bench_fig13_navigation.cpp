@@ -1,0 +1,93 @@
+// Figure 13: the navigation chart — performance portability against code
+// convergence (1 - code divergence).  Convergence comes from the mini Code
+// Base Investigator classifying the miniature CRK-HACC tree under each
+// configuration's per-platform define sets; PP comes from the portability
+// study.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/cbi/classifier.hpp"
+#include "minihacc_tree.hpp"
+#include "platform/study.hpp"
+
+namespace {
+
+using namespace hacc;
+using metrics::cbi::Configuration;
+
+platform::PortabilityStudy& study() {
+  static platform::PortabilityStudy s;
+  return s;
+}
+
+// The per-platform build configurations each Fig. 12 entry ships.
+std::vector<Configuration> platform_configs(platform::AppConfig c) {
+  using platform::AppConfig;
+  const metrics::cbi::DefineMap select = {{"HACC_SYCL", "1"}, {"HACC_COMM_SELECT", "1"}};
+  const metrics::cbi::DefineMap memory = {{"HACC_SYCL", "1"}, {"HACC_COMM_MEMORY", "1"}};
+  const metrics::cbi::DefineMap broadcast = {{"HACC_SYCL", "1"},
+                                             {"HACC_COMM_BROADCAST", "1"}};
+  const metrics::cbi::DefineMap visa = {{"HACC_SYCL", "1"}, {"HACC_COMM_VISA", "1"}};
+  const metrics::cbi::DefineMap cuda = {{"HACC_CUDA", "1"}};
+  const metrics::cbi::DefineMap hip = {{"HACC_HIP", "1"}};
+  switch (c) {
+    case AppConfig::kCudaHipFastMath:
+      return {{"Polaris", cuda}, {"Frontier", hip}};
+    case AppConfig::kSyclBroadcast:
+      return {{"Polaris", broadcast}, {"Frontier", broadcast}, {"Aurora", broadcast}};
+    case AppConfig::kSyclMemory32:
+    case AppConfig::kSyclMemoryObject:
+      return {{"Polaris", memory}, {"Frontier", memory}, {"Aurora", memory}};
+    case AppConfig::kSyclSelect:
+      return {{"Polaris", select}, {"Frontier", select}, {"Aurora", select}};
+    case AppConfig::kSyclVisa:
+      return {{"Aurora", visa}};
+    case AppConfig::kSyclSelectMemory:
+      return {{"Polaris", select}, {"Frontier", select}, {"Aurora", memory}};
+    case AppConfig::kSyclSelectVisa:
+      return {{"Polaris", select}, {"Frontier", select}, {"Aurora", visa}};
+    case AppConfig::kUnifiedFastMath:
+      return {{"Polaris", cuda}, {"Frontier", hip}, {"Aurora", memory}};
+  }
+  return {};
+}
+
+double convergence_of(platform::AppConfig c) {
+  const auto files = bench::minihacc_tree();
+  const auto configs = platform_configs(c);
+  const auto tree = metrics::cbi::classify_tree(files, configs);
+  return tree.convergence(static_cast<int>(configs.size()));
+}
+
+void BM_TreeClassification(benchmark::State& state) {
+  const auto files = bench::minihacc_tree();
+  const auto configs = bench::minihacc_configs();
+  for (auto _ : state) {
+    auto tree = metrics::cbi::classify_tree(files, configs);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeClassification);
+
+void print_fig() {
+  bench::print_header(
+      "Figure 13: navigation chart — performance portability vs code convergence");
+  std::printf("%-26s %12s %8s\n", "configuration", "convergence", "PP");
+  for (const auto c : platform::paper_configurations()) {
+    const double conv = convergence_of(c);
+    const double pp = study().app_efficiencies(c).pp();
+    std::printf("%-26s %12.3f %8.3f\n", to_string(c), conv, pp);
+  }
+  std::printf(
+      "\nPaper anchors (§6.2): the specialized SYCL variants sit at convergence\n"
+      "~1.0 (19-line Select/Memory delta; +226 vISA lines); only the Unified\n"
+      "CUDA/HIP+SYCL configuration drops visibly (0.83): two versions of every\n"
+      "kernel.  High PP does NOT require high divergence.\n");
+}
+
+}  // namespace
+
+HACC_BENCH_MAIN(print_fig)

@@ -1,0 +1,117 @@
+// Ablation: the gravity substrate — PM grid sweep, short-range polynomial
+// order sweep (the HACC_CUDA_POLY_ORDER design choice), and split-force
+// accuracy.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gravity/pm.hpp"
+#include "gravity/pp_short.hpp"
+#include "tree/rcb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hacc;
+using util::Vec3d;
+
+std::vector<Vec3d> random_positions(int n, double box) {
+  const util::CounterRng rng(7);
+  std::vector<Vec3d> pos(n);
+  for (int i = 0; i < n; ++i) {
+    pos[i] = {box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+              box * rng.uniform(3 * i + 2)};
+  }
+  return pos;
+}
+
+void BM_PmForces(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  const double box = 25.0;
+  util::ThreadPool pool;
+  gravity::PmOptions opt;
+  opt.grid_n = grid;
+  opt.box = box;
+  opt.r_split = 1.25 * box / grid;
+  gravity::PmSolver pm(opt, pool);
+  const auto pos = random_positions(4096, box);
+  const std::vector<double> mass(pos.size(), 1.0);
+  std::vector<Vec3d> accel(pos.size());
+  for (auto _ : state) {
+    pm.compute_forces(pos, mass, accel);
+    benchmark::DoNotOptimize(accel.data());
+  }
+  state.SetLabel("grid " + std::to_string(grid) + "^3");
+}
+BENCHMARK(BM_PmForces)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_PpShortRange(benchmark::State& state) {
+  const auto variant = static_cast<xsycl::CommVariant>(state.range(0));
+  const double box = 25.0;
+  const double rs = 1.0;
+  const gravity::PolyShortForce poly(rs, 4.0 * rs);
+  const auto pos = random_positions(4096, box);
+  std::vector<float> x(pos.size()), y(pos.size()), z(pos.size()), m(pos.size(), 1.f);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    x[i] = float(pos[i].x);
+    y[i] = float(pos[i].y);
+    z[i] = float(pos[i].z);
+  }
+  std::vector<float> ax(pos.size()), ay(pos.size()), az(pos.size());
+  const tree::RcbTree tr(pos, box, 32);
+  const auto pairs = tr.interacting_pairs(poly.r_cut());
+  util::ThreadPool pool;
+  xsycl::Queue q(pool);
+  gravity::PpOptions opt;
+  opt.box = float(box);
+  opt.softening = 0.05f;
+  opt.variant = variant;
+  std::uint64_t interactions = 0;
+  for (auto _ : state) {
+    std::fill(ax.begin(), ax.end(), 0.f);
+    std::fill(ay.begin(), ay.end(), 0.f);
+    std::fill(az.begin(), az.end(), 0.f);
+    const auto stats = run_pp_short(
+        q,
+        {x.data(), y.data(), z.data(), m.data(), ax.data(), ay.data(), az.data(),
+         pos.size()},
+        tr, pairs, poly, opt);
+    interactions += stats.ops.interactions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(interactions));
+  state.SetLabel(std::string("variant ") + to_string(variant));
+}
+BENCHMARK(BM_PpShortRange)
+    ->Arg(static_cast<long>(xsycl::CommVariant::kSelect))
+    ->Arg(static_cast<long>(xsycl::CommVariant::kMemoryObject))
+    ->Arg(static_cast<long>(xsycl::CommVariant::kBroadcast))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PolyFit(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gravity::PolyShortForce poly(1.0, 5.0, order);
+    benchmark::DoNotOptimize(poly.coefficients().data());
+  }
+  const gravity::PolyShortForce poly(1.0, 5.0, order);
+  state.SetLabel("order " + std::to_string(order) + ", max fit error " +
+                 std::to_string(poly.max_abs_error()));
+}
+BENCHMARK(BM_PolyFit)->DenseRange(2, 7);
+
+void print_summary() {
+  hacc::bench::print_header("Gravity ablation: polynomial split-force accuracy");
+  const gravity::SplitForce split(1.0);
+  std::printf("%-7s %18s\n", "order", "max |poly - l(r)|");
+  for (int order = 2; order <= 7; ++order) {
+    const gravity::PolyShortForce poly(1.0, 5.0, order);
+    std::printf("%-7d %18.3e\n", order, poly.max_abs_error());
+  }
+  std::printf("\nHACC ships HACC_CUDA_POLY_ORDER=5 (paper Appendix A); at order 5 the\n"
+              "fit error is <1%% of the profile peak (%.3e).\n",
+              split.long_profile(0.0));
+}
+
+}  // namespace
+
+HACC_BENCH_MAIN(print_summary)

@@ -1,0 +1,53 @@
+// Table 1: hardware configuration for one node of each test system.
+
+#include "bench_common.hpp"
+#include "platform/study.hpp"
+
+namespace {
+
+using namespace hacc;
+
+void BM_PlatformModelConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    auto platforms = platform::all_platforms();
+    benchmark::DoNotOptimize(platforms);
+  }
+}
+BENCHMARK(BM_PlatformModelConstruction);
+
+void BM_RegisterBudgetQuery(benchmark::State& state) {
+  const auto p = platform::aurora();
+  int sg = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.regs_available(sg, true));
+    sg = sg == 16 ? 32 : 16;
+  }
+}
+BENCHMARK(BM_RegisterBudgetQuery);
+
+void print_table1() {
+  bench::print_header("Table 1: hardware configuration for one node of each test system");
+  std::printf("%-9s %-36s %-8s %-32s %-7s %s\n", "System", "CPU", "Sockets", "GPU",
+              "# GPUs", "FP32 Peak per GPU");
+  for (const auto& p : platform::all_platforms()) {
+    std::printf("%-9s %-36s %-8d %-32s %-7d %.1f TFLOPS\n", p.name.c_str(),
+                p.cpu.c_str(), p.cpu_sockets, p.gpu.c_str(), p.gpus_per_node,
+                p.fp32_peak_tflops);
+  }
+  std::printf(
+      "\nPer-rank devices (§3.4.2): Aurora 1 stack (of 2), Frontier 1 GCD (of 2),\n"
+      "Polaris half an A100 (2 ranks per GPU, ~11%% efficiency loss).\n");
+  std::printf("Sub-group sizes: ");
+  for (const auto& p : platform::all_platforms()) {
+    std::printf("%s {", p.name.c_str());
+    for (std::size_t i = 0; i < p.subgroup_sizes.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", p.subgroup_sizes[i]);
+    }
+    std::printf("}  ");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+HACC_BENCH_MAIN(print_table1)

@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared implementation of Figures 9-11: application efficiency of the SYCL
+// communication variants per kernel on one platform, normalized to the best
+// variant on the same hardware.
+
+#include "bench_common.hpp"
+#include "platform/study.hpp"
+
+namespace hacc::bench {
+
+inline platform::PortabilityStudy& shared_study() {
+  static platform::PortabilityStudy s;
+  return s;
+}
+
+inline void print_variant_figure(const platform::PlatformModel& p,
+                                 const char* figure_name) {
+  std::printf("\n");
+  print_header(figure_name);
+  auto& study = shared_study();
+  const auto eff = study.variant_efficiencies(p);
+  std::printf("%-10s", "kernel");
+  for (const auto v : xsycl::kAllVariants) std::printf(" %15s", to_string(v));
+  std::printf("\n");
+  for (const auto& kernel : platform::PortabilityStudy::figure_kernels()) {
+    std::printf("%-10s", kernel.c_str());
+    for (const auto v : xsycl::kAllVariants) {
+      const auto it = eff.at(kernel).find(v);
+      if (it == eff.at(kernel).end()) {
+        std::printf(" %15s", "unsupported");
+      } else {
+        std::printf(" %15.2f", it->second);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+// Benchmark: one full variant-efficiency assembly for the platform.
+inline void run_efficiency_benchmark(benchmark::State& state,
+                                     const platform::PlatformModel& p) {
+  auto& study = shared_study();
+  for (auto _ : state) {
+    auto eff = study.variant_efficiencies(p);
+    benchmark::DoNotOptimize(eff);
+  }
+}
+
+}  // namespace hacc::bench

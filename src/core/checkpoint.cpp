@@ -1,0 +1,66 @@
+#include "core/checkpoint.hpp"
+
+#include <fstream>
+
+namespace hacc::core {
+
+namespace {
+
+template <typename T>
+void write_vec(std::ofstream& f, const std::vector<T>& v) {
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool read_vec(std::ifstream& f, std::vector<T>& v) {
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(v.size() * sizeof(T)));
+  return static_cast<bool>(f);
+}
+
+// The serialized field order; a single list keeps write and read in sync.
+template <typename PS, typename Fn>
+void for_each_field(PS& p, Fn fn) {
+  fn(p.x); fn(p.y); fn(p.z);
+  fn(p.vx); fn(p.vy); fn(p.vz);
+  fn(p.mass);
+  fn(p.h); fn(p.V); fn(p.rho); fn(p.u); fn(p.P); fn(p.cs);
+  fn(p.crk);
+  fn(p.m0);
+  fn(p.ax); fn(p.ay); fn(p.az);
+  fn(p.du); fn(p.vsig);
+  fn(p.dvel);
+}
+
+}  // namespace
+
+bool write_checkpoint(const std::string& path, const ParticleSet& p, double box,
+                      double scale_factor) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  CheckpointHeader hdr;
+  hdr.n_particles = p.size();
+  hdr.box = box;
+  hdr.scale_factor = scale_factor;
+  f.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  for_each_field(p, [&f](const auto& v) { write_vec(f, v); });
+  return static_cast<bool>(f);
+}
+
+bool read_checkpoint(const std::string& path, ParticleSet& p, double& box,
+                     double& scale_factor) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  CheckpointHeader hdr;
+  f.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!f || hdr.magic != CheckpointHeader{}.magic || hdr.version != 1) return false;
+  p.resize(hdr.n_particles);
+  box = hdr.box;
+  scale_factor = hdr.scale_factor;
+  bool ok = true;
+  for_each_field(p, [&f, &ok](auto& v) { ok = ok && read_vec(f, v); });
+  return ok;
+}
+
+}  // namespace hacc::core

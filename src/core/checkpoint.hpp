@@ -1,0 +1,30 @@
+#pragma once
+
+// Binary particle checkpoints.  Besides restart support, these drive the
+// standalone-kernel workflow of §7.2: hot spots extracted into standalone
+// applications driven by checkpoint files, so a single kernel can be
+// recompiled and re-run quickly while experimenting with variants.
+
+#include <string>
+
+#include "core/particles.hpp"
+
+namespace hacc::core {
+
+struct CheckpointHeader {
+  std::uint64_t magic = 0x4352'4b48'4143'4321ull;  // "CRKHACC!"
+  std::uint32_t version = 1;
+  std::uint64_t n_particles = 0;
+  double box = 0.0;
+  double scale_factor = 0.0;
+};
+
+// Writes the full hydro state of `p`; returns false on I/O failure.
+bool write_checkpoint(const std::string& path, const ParticleSet& p, double box,
+                      double scale_factor);
+
+// Reads a checkpoint; returns false on I/O failure or format mismatch.
+bool read_checkpoint(const std::string& path, ParticleSet& p, double& box,
+                     double& scale_factor);
+
+}  // namespace hacc::core

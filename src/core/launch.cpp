@@ -1,0 +1,58 @@
+#include "core/launch.hpp"
+
+#include <stdexcept>
+
+#include "sph/acceleration.hpp"
+#include "sph/corrections.hpp"
+#include "sph/energy.hpp"
+#include "sph/extras.hpp"
+#include "sph/geometry.hpp"
+
+namespace hacc::core {
+
+KernelRegistry::KernelRegistry() {
+  const auto bind = [this](const std::string& name, auto fn) {
+    register_kernel(name, [name, fn](xsycl::Queue& q, ParticleSet& p,
+                                     const tree::RcbTree& tree,
+                                     std::span<const tree::LeafPair> pairs,
+                                     const sph::HydroOptions& opt) {
+      return fn(q, p, tree, pairs, opt, name);
+    });
+  };
+  bind("upGeo", sph::run_geometry);
+  bind("upCor", sph::run_corrections);
+  bind("upBarEx", sph::run_extras);
+  bind("upBarAc", sph::run_acceleration);
+  bind("upBarAcF", sph::run_acceleration);
+  bind("upBarDu", sph::run_energy);
+  bind("upBarDuF", sph::run_energy);
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+void KernelRegistry::register_kernel(const std::string& name, Runner runner) {
+  runners_[name] = std::move(runner);
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(runners_.size());
+  for (const auto& [name, _] : runners_) out.push_back(name);
+  return out;
+}
+
+xsycl::LaunchStats KernelRegistry::run(const std::string& name, xsycl::Queue& q,
+                                       ParticleSet& p, const tree::RcbTree& tree,
+                                       std::span<const tree::LeafPair> pairs,
+                                       const sph::HydroOptions& opt) const {
+  const auto it = runners_.find(name);
+  if (it == runners_.end()) {
+    throw std::out_of_range("KernelRegistry: unknown kernel '" + name + "'");
+  }
+  return it->second(q, p, tree, pairs, opt);
+}
+
+}  // namespace hacc::core

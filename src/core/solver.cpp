@@ -1,0 +1,273 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hacc::core {
+
+namespace {
+
+// Hydro options for one kernel launch, threading the per-kernel variant.
+sph::HydroOptions hydro_options(const SimConfig& cfg, xsycl::CommVariant v) {
+  sph::HydroOptions opt;
+  opt.box = static_cast<float>(cfg.box);
+  opt.variant = v;
+  opt.launch.sub_group_size = cfg.sub_group_size;
+  opt.launch.sg_per_wg = cfg.sg_per_wg;
+  return opt;
+}
+
+}  // namespace
+
+Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
+    : cfg_(cfg), pool_(&pool), queue_(pool, &timers_) {
+  a_ = ic::Cosmology::a_of_z(cfg_.z_init);
+  const double a_final = ic::Cosmology::a_of_z(cfg_.z_final);
+  da_ = (a_final - a_) / cfg_.n_steps;
+
+  gravity::PmOptions pm_opt;
+  pm_opt.grid_n = cfg_.pm_grid;
+  pm_opt.box = cfg_.box;
+  pm_opt.r_split = cfg_.r_split_cells * cfg_.box / cfg_.pm_grid;
+  pm_opt.G = 1.0;  // rescaled per evaluation
+  pm_ = std::make_unique<gravity::PmSolver>(pm_opt, pool);
+  poly_ = std::make_unique<gravity::PolyShortForce>(
+      pm_opt.r_split, cfg_.pp_cut_factor * pm_opt.r_split, cfg_.poly_order);
+}
+
+void Solver::initialize() {
+  const ic::PowerSpectrum pk(cfg_.cosmo, cfg_.sigma_norm, cfg_.r_norm);
+  ic::ZeldovichOptions zopt;
+  zopt.np_side = cfg_.np_side;
+  zopt.box = cfg_.box;
+  zopt.a_init = a_;
+  zopt.seed = cfg_.seed;
+  const ic::ZeldovichGenerator gen(cfg_.cosmo, pk, zopt, *pool_);
+
+  const std::size_t n = static_cast<std::size_t>(cfg_.np_side) * cfg_.np_side *
+                        cfg_.np_side;
+  const double m_total = cfg_.box * cfg_.box * cfg_.box;  // mean density 1
+  const double fb = cfg_.hydro ? cfg_.baryon_fraction : 0.0;
+  const double dx = cfg_.box / cfg_.np_side;
+  h0_ = sph::kEta * dx;
+
+  const auto fill_species = [&](ParticleSet& p, const ic::ZeldovichField& f,
+                                double mass) {
+    p.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p.x[i] = static_cast<float>(f.position[i].x);
+      p.y[i] = static_cast<float>(f.position[i].y);
+      p.z[i] = static_cast<float>(f.position[i].z);
+      // v (peculiar) = p / a for the Zel'dovich momentum p = a^3 H D' psi.
+      p.vx[i] = static_cast<float>(f.momentum[i].x / a_);
+      p.vy[i] = static_cast<float>(f.momentum[i].y / a_);
+      p.vz[i] = static_cast<float>(f.momentum[i].z / a_);
+      p.mass[i] = static_cast<float>(mass);
+      p.h[i] = static_cast<float>(h0_);
+      p.V[i] = static_cast<float>(dx * dx * dx);
+      p.u[i] = static_cast<float>(cfg_.u_init);
+    }
+  };
+
+  fill_species(dm_, gen.generate(0.0), (1.0 - fb) * m_total / n);
+  if (cfg_.hydro) {
+    fill_species(gas_, gen.generate(0.5), fb * m_total / n);
+  } else {
+    gas_.resize(0);
+  }
+
+  compute_forces(/*corrector=*/false);
+  steps_taken_ = 0;
+}
+
+void Solver::update_smoothing_lengths() {
+  for (std::size_t i = 0; i < gas_.size(); ++i) {
+    const float h = static_cast<float>(sph::kEta) * std::cbrt(std::max(gas_.V[i], 0.f));
+    gas_.h[i] = std::clamp(h, 0.5f * static_cast<float>(h0_),
+                           2.0f * static_cast<float>(h0_));
+  }
+}
+
+void Solver::assemble_gravity_inputs() {
+  const std::size_t total = dm_.size() + gas_.size();
+  grav_pos_.resize(total);
+  grav_mass_d_.resize(total);
+  grav_accel_pm_.resize(total);
+  grav_x_.resize(total);
+  grav_y_.resize(total);
+  grav_z_.resize(total);
+  grav_mass_.resize(total);
+  grav_ax_.assign(total, 0.f);
+  grav_ay_.assign(total, 0.f);
+  grav_az_.assign(total, 0.f);
+  const auto copy_in = [&](const ParticleSet& p, std::size_t base) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      grav_pos_[base + i] = p.pos_of(i);
+      grav_mass_d_[base + i] = p.mass[i];
+      grav_x_[base + i] = p.x[i];
+      grav_y_[base + i] = p.y[i];
+      grav_z_[base + i] = p.z[i];
+      grav_mass_[base + i] = p.mass[i];
+    }
+  };
+  copy_in(dm_, 0);
+  copy_in(gas_, dm_.size());
+}
+
+void Solver::compute_forces(bool corrector) {
+  // ---- Hydro (baryons) ----
+  if (cfg_.hydro && gas_.size() > 0) {
+    update_smoothing_lengths();
+    sph::PipelineOptions popt;
+    popt.leaf_size = cfg_.leaf_size;
+    popt.hydro = hydro_options(cfg_, cfg_.variants.geometry);
+    const sph::Pipeline pipe = sph::build_pipeline(gas_, popt);
+    const auto& v = cfg_.variants;
+    sph::run_geometry(queue_, gas_, *pipe.tree, pipe.pairs,
+                      hydro_options(cfg_, v.geometry));
+    sph::run_corrections(queue_, gas_, *pipe.tree, pipe.pairs,
+                         hydro_options(cfg_, v.corrections));
+    sph::run_extras(queue_, gas_, *pipe.tree, pipe.pairs,
+                    hydro_options(cfg_, v.extras));
+    sph::run_acceleration(queue_, gas_, *pipe.tree, pipe.pairs,
+                          hydro_options(cfg_, v.acceleration),
+                          corrector ? "upBarAcF" : "upBarAc");
+    sph::run_energy(queue_, gas_, *pipe.tree, pipe.pairs,
+                    hydro_options(cfg_, v.energy),
+                    corrector ? "upBarDuF" : "upBarDu");
+  }
+
+  // ---- Gravity (both species): Poisson constant 4 pi G = 3/2 Omega_m / (a rhobar),
+  // with rhobar = 1 by the mass normalization. ----
+  assemble_gravity_inputs();
+  const double g_code = 3.0 * cfg_.cosmo.omega_m / (8.0 * M_PI * a_);
+  {
+    util::ScopedTimer t(timers_, "grav_pm");
+    pm_->set_gravitational_constant(g_code);
+    pm_->compute_forces(grav_pos_, grav_mass_d_, grav_accel_pm_);
+  }
+  {
+    util::ScopedTimer t(timers_, "grav_pp");
+    const tree::RcbTree gtree(grav_pos_, cfg_.box, cfg_.leaf_size);
+    const auto gpairs = gtree.interacting_pairs(poly_->r_cut());
+    gravity::GravityArrays arrays{grav_x_.data(),  grav_y_.data(),  grav_z_.data(),
+                                  grav_mass_.data(), grav_ax_.data(), grav_ay_.data(),
+                                  grav_az_.data(),  grav_x_.size()};
+    gravity::PpOptions ppopt;
+    ppopt.box = static_cast<float>(cfg_.box);
+    ppopt.G = static_cast<float>(g_code);
+    ppopt.softening = static_cast<float>(cfg_.softening_cells * cfg_.box / cfg_.pm_grid);
+    ppopt.variant = cfg_.variants.gravity;
+    ppopt.launch.sub_group_size = cfg_.sub_group_size;
+    ppopt.launch.sg_per_wg = cfg_.sg_per_wg;
+    run_pp_short(queue_, arrays, gtree, gpairs, *poly_, ppopt);
+  }
+  forces_ready_ = true;
+}
+
+void Solver::kick(double k_factor, double a_for_grav) {
+  // Gravity: dv/dt = F/a; hydro: dv/dt = a_hydro; energy: du/dt from kernel.
+  const auto apply = [&](ParticleSet& p, std::size_t grav_base, bool hydro) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const std::size_t g = grav_base + i;
+      double axt = (grav_accel_pm_[g].x + grav_ax_[g]) / a_for_grav;
+      double ayt = (grav_accel_pm_[g].y + grav_ay_[g]) / a_for_grav;
+      double azt = (grav_accel_pm_[g].z + grav_az_[g]) / a_for_grav;
+      if (hydro) {
+        axt += p.ax[i];
+        ayt += p.ay[i];
+        azt += p.az[i];
+        p.u[i] = std::max(0.f, p.u[i] + static_cast<float>(p.du[i] * k_factor));
+      }
+      p.vx[i] += static_cast<float>(axt * k_factor);
+      p.vy[i] += static_cast<float>(ayt * k_factor);
+      p.vz[i] += static_cast<float>(azt * k_factor);
+    }
+  };
+  apply(dm_, 0, false);
+  apply(gas_, dm_.size(), cfg_.hydro);
+}
+
+void Solver::drift(double a0, double a1) {
+  const double dtau = cfg_.cosmo.conformal_factor(a0, a1);
+  const float box = static_cast<float>(cfg_.box);
+  const auto wrap = [box](float x) {
+    x = std::fmod(x, box);
+    return x < 0.f ? x + box : x;
+  };
+  // Hubble drag on v and adiabatic expansion on u, as exact split factors.
+  const float drag = static_cast<float>(a0 / a1);
+  const float cool = static_cast<float>(std::pow(a0 / a1, 3.0 * (sph::kGamma - 1.0)));
+  const auto apply = [&](ParticleSet& p, bool hydro) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p.x[i] = wrap(p.x[i] + static_cast<float>(p.vx[i] * dtau));
+      p.y[i] = wrap(p.y[i] + static_cast<float>(p.vy[i] * dtau));
+      p.z[i] = wrap(p.z[i] + static_cast<float>(p.vz[i] * dtau));
+      p.vx[i] *= drag;
+      p.vy[i] *= drag;
+      p.vz[i] *= drag;
+      if (hydro) p.u[i] *= cool;
+    }
+  };
+  apply(dm_, false);
+  apply(gas_, cfg_.hydro);
+}
+
+void Solver::step() {
+  if (!forces_ready_) compute_forces(false);
+  const double a0 = a_;
+  const double a1 = a_ + da_;
+  const double amid = 0.5 * (a0 + a1);
+
+  kick(cfg_.cosmo.kick_factor(a0, amid), a0);
+  drift(a0, a1);
+  a_ = a1;
+  compute_forces(/*corrector=*/true);
+  kick(cfg_.cosmo.kick_factor(amid, a1), a1);
+  ++steps_taken_;
+}
+
+void Solver::run() {
+  initialize();
+  for (int s = 0; s < cfg_.n_steps; ++s) step();
+}
+
+Solver::Diagnostics Solver::diagnostics() const {
+  Diagnostics d;
+  const double dx = cfg_.box / cfg_.np_side;
+  const auto tally = [&](const ParticleSet& p, bool hydro, double offset_cells) {
+    std::size_t i = 0;
+    for (int ix = 0; ix < cfg_.np_side; ++ix) {
+      for (int iy = 0; iy < cfg_.np_side; ++iy) {
+        for (int iz = 0; iz < cfg_.np_side; ++iz, ++i) {
+          const double m = p.mass[i];
+          d.total_mass += m;
+          const double v2 = double(p.vx[i]) * p.vx[i] + double(p.vy[i]) * p.vy[i] +
+                            double(p.vz[i]) * p.vz[i];
+          d.kinetic_energy += 0.5 * m * v2;
+          d.momentum[0] += m * p.vx[i];
+          d.momentum[1] += m * p.vy[i];
+          d.momentum[2] += m * p.vz[i];
+          if (hydro) {
+            d.thermal_energy += m * p.u[i];
+            d.mean_gas_density += p.rho[i];
+          }
+          const double qx = (ix + 0.5 + offset_cells) * dx;
+          const double qy = (iy + 0.5 + offset_cells) * dx;
+          const double qz = (iz + 0.5 + offset_cells) * dx;
+          const auto disp = sph::min_image(
+              util::Vec3d{p.x[i] - qx, p.y[i] - qy, p.z[i] - qz}, cfg_.box);
+          d.max_displacement = std::max(d.max_displacement, norm(disp));
+        }
+      }
+    }
+  };
+  tally(dm_, false, 0.0);
+  if (cfg_.hydro) {
+    tally(gas_, true, 0.5);
+    if (gas_.size() > 0) d.mean_gas_density /= static_cast<double>(gas_.size());
+  }
+  return d;
+}
+
+}  // namespace hacc::core

@@ -1,0 +1,141 @@
+#pragma once
+
+// The CRK-HACC solver: two particle species (dark matter: gravity only;
+// baryons: gravity + CRK-SPH hydro), KDK leapfrog in the scale factor from
+// z_init to z_final — the paper's benchmark runs five time steps from
+// z = 200 to z = 50 in adiabatic mode (§3.4.3).
+//
+// Variable conventions (documented in DESIGN.md):
+//   x      comoving position in [0, box)
+//   v      peculiar velocity a*dx/dt, with Hubble drag applied as an exact
+//          operator-split factor a0/a1 per interval
+//   u      specific internal energy, adiabatic expansion applied as the
+//          exact factor (a0/a1)^{3(gamma-1)} per drift
+// Gravity uses the Gaussian-split PM + short-range polynomial P-P pair;
+// hydro forces act directly on v.
+
+#include <memory>
+
+#include "core/particles.hpp"
+#include "gravity/pm.hpp"
+#include "gravity/pp_short.hpp"
+#include "ic/cosmology.hpp"
+#include "ic/power_spectrum.hpp"
+#include "ic/zeldovich.hpp"
+#include "sph/pipeline.hpp"
+#include "util/timer.hpp"
+#include "xsycl/queue.hpp"
+
+namespace hacc::core {
+
+// Per-kernel communication-variant selection: the mechanism behind the
+// paper's "specialized" configurations (§6), where each kernel can use the
+// variant best suited to the target architecture.
+struct VariantSelection {
+  xsycl::CommVariant geometry = xsycl::CommVariant::kSelect;
+  xsycl::CommVariant corrections = xsycl::CommVariant::kSelect;
+  xsycl::CommVariant extras = xsycl::CommVariant::kSelect;
+  xsycl::CommVariant acceleration = xsycl::CommVariant::kSelect;
+  xsycl::CommVariant energy = xsycl::CommVariant::kSelect;
+  xsycl::CommVariant gravity = xsycl::CommVariant::kSelect;
+
+  static VariantSelection uniform(xsycl::CommVariant v) {
+    return {v, v, v, v, v, v};
+  }
+};
+
+struct SimConfig {
+  int np_side = 12;             // particles per side, per species
+  double box = 25.0;            // comoving box (code length units)
+  double z_init = 200.0;
+  double z_final = 50.0;
+  int n_steps = 5;              // the paper's five-step benchmark
+  ic::Cosmology cosmo;
+  double sigma_norm = 1.0;      // power-spectrum normalization at r_norm
+  double r_norm = 8.0;
+  std::uint64_t seed = 42;
+
+  bool hydro = true;
+  double baryon_fraction = 0.15;  // mass fraction in the baryon species
+  double u_init = 1e-4;           // initial specific internal energy
+
+  int pm_grid = 32;
+  double r_split_cells = 1.25;  // Gaussian split scale in PM cells
+  double pp_cut_factor = 5.0;   // short-range cutoff in units of r_split
+  int poly_order = 5;           // HACC_CUDA_POLY_ORDER
+  double softening_cells = 0.2;
+
+  VariantSelection variants;
+  int sub_group_size = 32;  // HACC_SYCL_SG_SIZE
+  int sg_per_wg = 4;        // block size 128 / warp 32 (HACC_CUDA_BLOCK_SIZE)
+  int leaf_size = 32;
+};
+
+class Solver {
+ public:
+  explicit Solver(const SimConfig& cfg,
+                  util::ThreadPool& pool = util::ThreadPool::global());
+
+  // Generates Zel'dovich ICs for both species and evaluates initial forces.
+  void initialize();
+
+  // Advances one KDK step (initialize() must have run).
+  void step();
+
+  // initialize() + all n_steps steps.
+  void run();
+
+  double scale_factor() const { return a_; }
+  double redshift() const { return ic::Cosmology::z_of_a(a_); }
+  int steps_taken() const { return steps_taken_; }
+
+  const SimConfig& config() const { return cfg_; }
+  ParticleSet& gas() { return gas_; }
+  const ParticleSet& gas() const { return gas_; }
+  ParticleSet& dm() { return dm_; }
+  const ParticleSet& dm() const { return dm_; }
+
+  util::TimerRegistry& timers() { return timers_; }
+  xsycl::Queue& queue() { return queue_; }
+
+  struct Diagnostics {
+    double total_mass = 0.0;
+    double kinetic_energy = 0.0;   // Σ m v²/2 (peculiar)
+    double thermal_energy = 0.0;   // Σ m u (baryons)
+    double momentum[3] = {0, 0, 0};
+    double mean_gas_density = 0.0;
+    double max_displacement = 0.0;  // vs the unperturbed lattice
+  };
+  Diagnostics diagnostics() const;
+
+ private:
+  void compute_forces(bool corrector);
+  void assemble_gravity_inputs();
+  void kick(double k_factor, double a_for_grav);
+  void drift(double a0, double a1);
+  void update_smoothing_lengths();
+
+  SimConfig cfg_;
+  util::ThreadPool* pool_;
+  util::TimerRegistry timers_;
+  xsycl::Queue queue_;
+
+  ParticleSet dm_;
+  ParticleSet gas_;
+  double a_ = 0.0;
+  double da_ = 0.0;
+  int steps_taken_ = 0;
+  bool forces_ready_ = false;
+  double h0_ = 0.0;  // fiducial smoothing length
+
+  // Combined-species gravity scratch.
+  std::vector<util::Vec3d> grav_pos_;
+  std::vector<double> grav_mass_d_;
+  std::vector<util::Vec3d> grav_accel_pm_;
+  std::vector<float> grav_x_, grav_y_, grav_z_, grav_mass_;
+  std::vector<float> grav_ax_, grav_ay_, grav_az_;
+  std::unique_ptr<gravity::PmSolver> pm_;
+  std::unique_ptr<gravity::PolyShortForce> poly_;
+};
+
+}  // namespace hacc::core

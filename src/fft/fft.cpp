@@ -1,0 +1,95 @@
+#include "fft/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hacc::fft {
+
+bool is_pow2(int n) { return n >= 2 && (n & (n - 1)) == 0; }
+
+void fft_1d(cplx* data, int n, bool inverse) {
+  assert(is_pow2(n));
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Iterative butterflies.
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / len;
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+Fft3D::Fft3D(int n, util::ThreadPool& pool) : n_(n), pool_(&pool) {
+  if (!is_pow2(n)) throw std::invalid_argument("Fft3D: grid size must be a power of two");
+}
+
+void Fft3D::transform_axis(std::vector<cplx>& grid, Axis axis, bool inverse) const {
+  const int n = n_;
+  const std::int64_t n_pencils = static_cast<std::int64_t>(n) * n;
+  pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
+    std::vector<cplx> pencil(n);
+    for (std::int64_t p = b; p < e; ++p) {
+      const int a = static_cast<int>(p / n);
+      const int c = static_cast<int>(p % n);
+      // Map (a, c) to the two fixed coordinates of this axis' pencils.
+      std::size_t base = 0, stride = 0;
+      switch (axis) {
+        case Axis::kZ:  // vary iz; fixed (ix=a, iy=c)
+          base = (static_cast<std::size_t>(a) * n + c) * n;
+          stride = 1;
+          break;
+        case Axis::kY:  // vary iy; fixed (ix=a, iz=c)
+          base = static_cast<std::size_t>(a) * n * n + c;
+          stride = n;
+          break;
+        case Axis::kX:  // vary ix; fixed (iy=a, iz=c)
+          base = static_cast<std::size_t>(a) * n + c;
+          stride = static_cast<std::size_t>(n) * n;
+          break;
+      }
+      if (stride == 1) {
+        fft_1d(grid.data() + base, n, inverse);
+      } else {
+        for (int i = 0; i < n; ++i) pencil[i] = grid[base + i * stride];
+        fft_1d(pencil.data(), n, inverse);
+        for (int i = 0; i < n; ++i) grid[base + i * stride] = pencil[i];
+      }
+    }
+  });
+}
+
+void Fft3D::forward(std::vector<cplx>& grid) const {
+  assert(grid.size() == size());
+  transform_axis(grid, Axis::kZ, false);
+  transform_axis(grid, Axis::kY, false);
+  transform_axis(grid, Axis::kX, false);
+}
+
+void Fft3D::inverse(std::vector<cplx>& grid) const {
+  assert(grid.size() == size());
+  transform_axis(grid, Axis::kZ, true);
+  transform_axis(grid, Axis::kY, true);
+  transform_axis(grid, Axis::kX, true);
+  const double norm = 1.0 / static_cast<double>(size());
+  pool_->parallel_for_chunks(static_cast<std::int64_t>(grid.size()), 4096,
+                             [&](std::int64_t b, std::int64_t e) {
+                               for (std::int64_t i = b; i < e; ++i) grid[i] *= norm;
+                             });
+}
+
+}  // namespace hacc::fft

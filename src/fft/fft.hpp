@@ -1,0 +1,45 @@
+#pragma once
+
+// In-house FFT substrate for the long-range Poisson solver.  HACC's
+// long-range gravity uses a distributed-memory FFT; at our single-node
+// scale a threaded 3-D transform over pencils exercises the same code path.
+// Radix-2 iterative Cooley-Tukey; sizes must be powers of two.
+
+#include <complex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hacc::fft {
+
+using cplx = std::complex<double>;
+
+// In-place 1-D transform of n contiguous values.  inverse=true applies the
+// conjugate transform WITHOUT the 1/n normalization (the 3-D wrapper
+// normalizes once).
+void fft_1d(cplx* data, int n, bool inverse);
+
+// True when n is a power of two and >= 2.
+bool is_pow2(int n);
+
+// Threaded 3-D transform on an n^3 grid stored as idx = (ix*n + iy)*n + iz.
+class Fft3D {
+ public:
+  explicit Fft3D(int n, util::ThreadPool& pool = util::ThreadPool::global());
+
+  int n() const { return n_; }
+  std::size_t size() const { return static_cast<std::size_t>(n_) * n_ * n_; }
+
+  void forward(std::vector<cplx>& grid) const;
+  // Inverse including the 1/n^3 normalization, so inverse(forward(x)) == x.
+  void inverse(std::vector<cplx>& grid) const;
+
+ private:
+  enum class Axis { kX, kY, kZ };
+  void transform_axis(std::vector<cplx>& grid, Axis axis, bool inverse) const;
+
+  int n_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace hacc::fft

@@ -1,0 +1,107 @@
+#include "gravity/pm.hpp"
+
+#include <cmath>
+
+namespace hacc::gravity {
+
+namespace {
+
+// CIC assignment window along one axis (squared sinc), at mesh frequency
+// index n of an N-cell grid.
+double cic_window_1d(int n, int grid_n) {
+  if (n == 0) return 1.0;
+  const double x = M_PI * n / grid_n;
+  const double s = std::sin(x) / x;
+  return s * s;
+}
+
+// Signed frequency index in [-N/2, N/2).
+int signed_freq(int i, int n) { return i < n / 2 ? i : i - n; }
+
+}  // namespace
+
+PmSolver::PmSolver(const PmOptions& opt, util::ThreadPool& pool)
+    : opt_(opt), pool_(&pool), fft_(opt.grid_n, pool) {}
+
+void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
+                              std::span<const double> mass,
+                              std::span<util::Vec3d> accel) {
+  const int n = opt_.grid_n;
+  const double box = opt_.box;
+  const double cell_vol = (box / n) * (box / n) * (box / n);
+  const SplitForce split(opt_.r_split);
+
+  // Density contrast source: 4 pi G (rho - rho_bar); the k=0 mode removal
+  // implements the mean subtraction.
+  mesh::GridD mass_grid(n);
+  mesh::cic_deposit(mass_grid, pos, mass, box);
+
+  std::vector<fft::cplx> rho(fft_.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    rho[i] = fft::cplx(mass_grid.data()[i] / cell_vol, 0.0);
+  }
+  fft_.forward(rho);
+
+  // Build the three spectral force components a(k) = i k 4πG rho(k)/k^2,
+  // filtered and CIC-deconvolved.
+  std::vector<fft::cplx> fk[3];
+  for (auto& f : fk) f.resize(fft_.size());
+  std::vector<fft::cplx> phik(fft_.size());
+
+  const double two_pi_over_l = 2.0 * M_PI / box;
+  pool_->parallel_for_chunks(n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t ix = b; ix < e; ++ix) {
+      const int nx = signed_freq(static_cast<int>(ix), n);
+      for (int iy = 0; iy < n; ++iy) {
+        const int ny = signed_freq(iy, n);
+        for (int iz = 0; iz < n; ++iz) {
+          const int nz = signed_freq(iz, n);
+          const std::size_t idx = (static_cast<std::size_t>(ix) * n + iy) * n + iz;
+          if (nx == 0 && ny == 0 && nz == 0) {
+            phik[idx] = 0.0;
+            fk[0][idx] = fk[1][idx] = fk[2][idx] = 0.0;
+            continue;
+          }
+          const double kx = two_pi_over_l * nx;
+          const double ky = two_pi_over_l * ny;
+          const double kz = two_pi_over_l * nz;
+          const double k2 = kx * kx + ky * ky + kz * kz;
+          double green = -4.0 * M_PI * opt_.G / k2;
+          if (opt_.r_split > 0.0) green *= split.k_filter(std::sqrt(k2));
+          if (opt_.deconvolve_cic) {
+            const double w = cic_window_1d(nx, n) * cic_window_1d(ny, n) *
+                             cic_window_1d(nz, n);
+            green /= (w * w);  // deposit + interpolation
+          }
+          const fft::cplx phi = green * rho[idx];
+          phik[idx] = phi;
+          // a = -ik phi.
+          fk[0][idx] = fft::cplx(0.0, -kx) * phi;
+          fk[1][idx] = fft::cplx(0.0, -ky) * phi;
+          fk[2][idx] = fft::cplx(0.0, -kz) * phi;
+        }
+      }
+    }
+  });
+
+  fft_.inverse(phik);
+  potential_ = mesh::GridD(n);
+  for (std::size_t i = 0; i < phik.size(); ++i) potential_.data()[i] = phik[i].real();
+
+  for (int a = 0; a < 3; ++a) {
+    fft_.inverse(fk[a]);
+    force_[a] = mesh::GridD(n);
+    for (std::size_t i = 0; i < fk[a].size(); ++i) {
+      force_[a].data()[i] = fk[a][i].real();
+    }
+  }
+
+  pool_->parallel_for_chunks(
+      static_cast<std::int64_t>(pos.size()), 256, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          accel[i] = mesh::cic_interpolate3(force_[0], force_[1], force_[2], pos[i], box);
+        }
+      });
+}
+
+}  // namespace hacc::gravity

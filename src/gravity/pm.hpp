@@ -1,0 +1,54 @@
+#pragma once
+
+// Particle-mesh long-range gravity: CIC deposit -> FFT -> filtered inverse-
+// Laplacian Green's function -> spectral gradient -> CIC interpolation.
+// This is the distributed-FFT Poisson path of HACC (§3.1), realized with
+// the in-house threaded FFT at single-node scale.
+
+#include <span>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "gravity/poisson.hpp"
+#include "mesh/cic.hpp"
+#include "util/vec3.hpp"
+
+namespace hacc::gravity {
+
+struct PmOptions {
+  int grid_n = 32;          // mesh cells per side (power of two)
+  double box = 1.0;         // periodic box size
+  double r_split = 0.0;     // Gaussian split scale; 0 disables the filter
+  double G = 1.0;           // gravitational constant in code units
+  bool deconvolve_cic = true;  // divide by the CIC window twice
+};
+
+class PmSolver {
+ public:
+  explicit PmSolver(const PmOptions& opt,
+                    util::ThreadPool& pool = util::ThreadPool::global());
+
+  const PmOptions& options() const { return opt_; }
+
+  // The gravitational "constant" varies with the scale factor in comoving
+  // coordinates; the solver rescales it per force evaluation.
+  void set_gravitational_constant(double g) { opt_.G = g; }
+
+  // Computes long-range accelerations at the particle positions.
+  // mass and pos must have equal lengths; accel is overwritten.
+  void compute_forces(std::span<const util::Vec3d> pos, std::span<const double> mass,
+                      std::span<util::Vec3d> accel);
+
+  // The gravitational potential grid from the last compute_forces call
+  // (diagnostics / tests).
+  const mesh::GridD& potential() const { return potential_; }
+
+ private:
+  PmOptions opt_;
+  util::ThreadPool* pool_;
+  fft::Fft3D fft_;
+  mesh::GridD potential_;
+  mesh::GridD force_[3];
+};
+
+}  // namespace hacc::gravity

@@ -1,0 +1,46 @@
+#pragma once
+
+// Friends-of-Friends halo finder (paper §3.1): CRK-HACC needs to identify
+// massive dark-matter halos frequently enough to drive the AGN feedback
+// kernels; production CRK-HACC delegates to ArborX's DBSCAN.  This is the
+// equivalent substrate: a periodic cell-grid neighbor search feeding
+// union-find, with DBSCAN provided on top (FOF == DBSCAN with min_pts <= 2).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace hacc::halo {
+
+struct FofResult {
+  // halo_id[i]: dense halo index of particle i, or -1 when the particle's
+  // group is smaller than min_members.
+  std::vector<std::int32_t> halo_id;
+  // Halo sizes indexed by halo id, descending.
+  std::vector<std::int32_t> halo_sizes;
+
+  std::int32_t n_halos() const { return static_cast<std::int32_t>(halo_sizes.size()); }
+};
+
+struct FofOptions {
+  double linking_length = 0.2;  // b in units of the box (absolute length)
+  std::int32_t min_members = 10;
+};
+
+FofResult friends_of_friends(std::span<const util::Vec3d> pos, double box,
+                             const FofOptions& opt);
+
+// DBSCAN labels: cluster id per point, -1 for noise.  Border points join
+// the cluster of a core neighbor, as in the classic algorithm.
+struct DbscanResult {
+  std::vector<std::int32_t> cluster_id;
+  std::int32_t n_clusters = 0;
+  std::vector<bool> is_core;
+};
+
+DbscanResult dbscan(std::span<const util::Vec3d> pos, double box, double eps,
+                    int min_pts);
+
+}  // namespace hacc::halo

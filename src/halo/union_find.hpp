@@ -1,0 +1,48 @@
+#pragma once
+
+// Union-find with path compression and union by size — the backbone of the
+// Friends-of-Friends halo finder.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace hacc::halo {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::int64_t find(std::int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true when the two sets were previously disjoint.
+  bool unite(std::int64_t a, std::int64_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  bool same(std::int64_t a, std::int64_t b) { return find(a) == find(b); }
+
+  std::int64_t component_size(std::int64_t x) { return size_[find(x)]; }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::int64_t> parent_;
+  std::vector<std::int64_t> size_;
+};
+
+}  // namespace hacc::halo

@@ -1,0 +1,52 @@
+#include "ic/power_spectrum.hpp"
+
+#include <cmath>
+
+namespace hacc::ic {
+
+PowerSpectrum::PowerSpectrum(const Cosmology& cosmo, double sigma_norm, double r_norm)
+    : cosmo_(cosmo) {
+  const double sigma_raw = sigma_tophat(r_norm);
+  if (sigma_raw > 0.0) {
+    amplitude_ = (sigma_norm * sigma_norm) / (sigma_raw * sigma_raw);
+  }
+}
+
+double PowerSpectrum::transfer(double k) const {
+  // BBKS (Bardeen et al. 1986) fit; q in units of the shape parameter.
+  const double gamma = cosmo_.omega_m * cosmo_.h;
+  if (k <= 0.0) return 1.0;
+  const double q = k / gamma;
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) + std::pow(5.46 * q, 3) +
+                      std::pow(6.71 * q, 4);
+  return std::log(1.0 + 2.34 * q) / (2.34 * q) * std::pow(poly, -0.25);
+}
+
+double PowerSpectrum::unnormalized(double k) const {
+  const double t = transfer(k);
+  return std::pow(k, cosmo_.n_s) * t * t;
+}
+
+double PowerSpectrum::operator()(double k) const {
+  if (k <= 0.0) return 0.0;
+  return amplitude_ * unnormalized(k);
+}
+
+double PowerSpectrum::sigma_tophat(double r) const {
+  // sigma^2 = (1/2π^2) ∫ dk k^2 P(k) W(kr)^2, W the top-hat window;
+  // log-spaced midpoint quadrature.
+  const double kmin = 1e-4 / r;
+  const double kmax = 1e3 / r;
+  const int n = 2048;
+  const double dlnk = std::log(kmax / kmin) / n;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double k = kmin * std::exp((i + 0.5) * dlnk);
+    const double x = k * r;
+    const double w = 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+    sum += k * k * k * unnormalized(k) * w * w * dlnk;
+  }
+  return std::sqrt(amplitude_ * sum / (2.0 * M_PI * M_PI));
+}
+
+}  // namespace hacc::ic

@@ -1,0 +1,36 @@
+#pragma once
+
+// Linear matter power spectrum: primordial k^n_s tilt times the BBKS
+// transfer function.  Amplitude is set by a simple top-hat normalization so
+// initial displacement amplitudes are physically reasonable; absolute
+// calibration is irrelevant for the code paths exercised here.
+
+#include "ic/cosmology.hpp"
+
+namespace hacc::ic {
+
+class PowerSpectrum {
+ public:
+  // sigma_box: target rms density fluctuation at the normalization scale
+  // r_norm (in the same length units as k^-1).
+  PowerSpectrum(const Cosmology& cosmo, double sigma_norm = 1.0, double r_norm = 8.0);
+
+  // BBKS transfer function T(k).
+  double transfer(double k) const;
+
+  // P(k) = A k^n_s T(k)^2 (normalized at construction).
+  double operator()(double k) const;
+
+  double amplitude() const { return amplitude_; }
+
+  // rms of the density field smoothed with a top-hat of radius r.
+  double sigma_tophat(double r) const;
+
+ private:
+  double unnormalized(double k) const;
+
+  Cosmology cosmo_;
+  double amplitude_ = 1.0;
+};
+
+}  // namespace hacc::ic

@@ -1,0 +1,55 @@
+#pragma once
+
+// Zel'dovich initial conditions: a Gaussian random density field with the
+// target power spectrum is converted to a displacement field ψ(k) = i k/k² δ(k);
+// particles start on a uniform lattice displaced by D(a_i) ψ with velocities
+// p = a³ H(a) (dD/da) ψ (growing mode).  Dark matter and baryons are
+// generated from the same field on interleaved lattices, as CRK-HACC runs
+// "an equal number of dark matter and baryon particles" (§3.4.2).
+
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "ic/cosmology.hpp"
+#include "ic/power_spectrum.hpp"
+#include "util/vec3.hpp"
+
+namespace hacc::ic {
+
+struct ZeldovichOptions {
+  int np_side = 16;       // particles per side (per species)
+  double box = 1.0;       // comoving box size
+  double a_init = 1.0 / 201.0;  // z = 200
+  std::uint64_t seed = 12345;
+  double species_offset = 0.5;  // baryon lattice offset in cell units
+};
+
+struct ZeldovichField {
+  // Displacements ψ and the Zel'dovich phase-space state sampled on the
+  // lattice of np_side^3 points.
+  std::vector<util::Vec3d> lattice;       // unperturbed lattice positions q
+  std::vector<util::Vec3d> displacement;  // ψ(q)
+  std::vector<util::Vec3d> position;      // q + D ψ (periodic-wrapped)
+  std::vector<util::Vec3d> momentum;      // p = a³ H dD/da ψ
+  double growth = 0.0;                    // D(a_init) (normalized to D(1) = 1)
+};
+
+class ZeldovichGenerator {
+ public:
+  ZeldovichGenerator(const Cosmology& cosmo, const PowerSpectrum& pk,
+                     const ZeldovichOptions& opt,
+                     util::ThreadPool& pool = util::ThreadPool::global());
+
+  // Generates one species; lattice_offset shifts the unperturbed lattice
+  // (0 for dark matter, opt.species_offset for baryons) while sampling the
+  // SAME underlying displacement field.
+  ZeldovichField generate(double lattice_offset_cells) const;
+
+ private:
+  Cosmology cosmo_;
+  const PowerSpectrum* pk_;
+  ZeldovichOptions opt_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace hacc::ic

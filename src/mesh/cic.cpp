@@ -1,0 +1,71 @@
+#include "mesh/cic.hpp"
+
+#include <cmath>
+
+namespace hacc::mesh {
+
+namespace {
+
+struct CicStencil {
+  int i0[3];     // lower cell index (wrapped later)
+  double w0[3];  // weight of the lower cell per axis
+};
+
+CicStencil stencil_for(const util::Vec3d& pos, int n, double box) {
+  CicStencil s;
+  const double cell = box / n;
+  for (int a = 0; a < 3; ++a) {
+    // Particle position in cell units, relative to cell centers.
+    const double u = pos[a] / cell - 0.5;
+    const double fl = std::floor(u);
+    s.i0[a] = static_cast<int>(fl);
+    s.w0[a] = 1.0 - (u - fl);
+  }
+  return s;
+}
+
+}  // namespace
+
+void cic_deposit(GridD& grid, std::span<const util::Vec3d> pos,
+                 std::span<const double> mass, double box) {
+  const int n = grid.n();
+  for (std::size_t p = 0; p < pos.size(); ++p) {
+    const CicStencil s = stencil_for(pos[p], n, box);
+    for (int dx = 0; dx < 2; ++dx) {
+      const double wx = dx == 0 ? s.w0[0] : 1.0 - s.w0[0];
+      for (int dy = 0; dy < 2; ++dy) {
+        const double wy = dy == 0 ? s.w0[1] : 1.0 - s.w0[1];
+        for (int dz = 0; dz < 2; ++dz) {
+          const double wz = dz == 0 ? s.w0[2] : 1.0 - s.w0[2];
+          grid.at_wrapped(s.i0[0] + dx, s.i0[1] + dy, s.i0[2] + dz) +=
+              mass[p] * wx * wy * wz;
+        }
+      }
+    }
+  }
+}
+
+double cic_interpolate(const GridD& grid, const util::Vec3d& pos, double box) {
+  const int n = grid.n();
+  const CicStencil s = stencil_for(pos, n, box);
+  double value = 0.0;
+  for (int dx = 0; dx < 2; ++dx) {
+    const double wx = dx == 0 ? s.w0[0] : 1.0 - s.w0[0];
+    for (int dy = 0; dy < 2; ++dy) {
+      const double wy = dy == 0 ? s.w0[1] : 1.0 - s.w0[1];
+      for (int dz = 0; dz < 2; ++dz) {
+        const double wz = dz == 0 ? s.w0[2] : 1.0 - s.w0[2];
+        value += grid.at_wrapped(s.i0[0] + dx, s.i0[1] + dy, s.i0[2] + dz) * wx * wy * wz;
+      }
+    }
+  }
+  return value;
+}
+
+util::Vec3d cic_interpolate3(const GridD& gx, const GridD& gy, const GridD& gz,
+                             const util::Vec3d& pos, double box) {
+  return {cic_interpolate(gx, pos, box), cic_interpolate(gy, pos, box),
+          cic_interpolate(gz, pos, box)};
+}
+
+}  // namespace hacc::mesh

@@ -1,0 +1,25 @@
+#pragma once
+
+// Cloud-In-Cell deposit and interpolation on a periodic grid — the mass
+// assignment scheme of HACC's particle-mesh long-range solver.
+
+#include <span>
+
+#include "mesh/grid.hpp"
+#include "util/vec3.hpp"
+
+namespace hacc::mesh {
+
+// Deposits `mass[i]` at comoving position pos[i] (box units [0, box)) onto
+// the n^3 grid; the grid accumulates mass (not density).
+void cic_deposit(GridD& grid, std::span<const util::Vec3d> pos,
+                 std::span<const double> mass, double box);
+
+// Trilinear (CIC) interpolation of a grid field at one position.
+double cic_interpolate(const GridD& grid, const util::Vec3d& pos, double box);
+
+// Vector-field interpolation convenience: three grids -> Vec3 per particle.
+util::Vec3d cic_interpolate3(const GridD& gx, const GridD& gy, const GridD& gz,
+                             const util::Vec3d& pos, double box);
+
+}  // namespace hacc::mesh

@@ -1,0 +1,59 @@
+#pragma once
+
+// Periodic n^3 scalar grid used by the particle-mesh gravity solver.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace hacc::mesh {
+
+template <typename T>
+class Grid3 {
+ public:
+  Grid3() = default;
+  explicit Grid3(int n, T fill = T{}) : n_(n), data_(static_cast<std::size_t>(n) * n * n, fill) {}
+
+  int n() const { return n_; }
+  std::size_t size() const { return data_.size(); }
+
+  // Periodic wrap of a (possibly negative) index.
+  int wrap(int i) const {
+    i %= n_;
+    return i < 0 ? i + n_ : i;
+  }
+
+  std::size_t index(int ix, int iy, int iz) const {
+    return (static_cast<std::size_t>(ix) * n_ + iy) * n_ + iz;
+  }
+  std::size_t index_wrapped(int ix, int iy, int iz) const {
+    return index(wrap(ix), wrap(iy), wrap(iz));
+  }
+
+  T& at(int ix, int iy, int iz) { return data_[index(ix, iy, iz)]; }
+  const T& at(int ix, int iy, int iz) const { return data_[index(ix, iy, iz)]; }
+
+  T& at_wrapped(int ix, int iy, int iz) { return data_[index_wrapped(ix, iy, iz)]; }
+  const T& at_wrapped(int ix, int iy, int iz) const {
+    return data_[index_wrapped(ix, iy, iz)];
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  T sum() const {
+    T s{};
+    for (const T& v : data_) s += v;
+    return s;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<T> data_;
+};
+
+using GridD = Grid3<double>;
+
+}  // namespace hacc::mesh

@@ -1,0 +1,22 @@
+#include "metrics/cascade.hpp"
+
+#include <algorithm>
+
+namespace hacc::metrics {
+
+CascadeSeries make_cascade(const EfficiencySet& eff) {
+  CascadeSeries out;
+  out.application = eff.application;
+  out.ordered.assign(eff.by_platform.begin(), eff.by_platform.end());
+  std::sort(out.ordered.begin(), out.ordered.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<double> prefix;
+  for (const auto& [_, e] : out.ordered) {
+    prefix.push_back(e);
+    out.cumulative_pp.push_back(performance_portability(prefix));
+  }
+  out.final_pp = out.cumulative_pp.empty() ? 0.0 : out.cumulative_pp.back();
+  return out;
+}
+
+}  // namespace hacc::metrics

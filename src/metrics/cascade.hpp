@@ -1,0 +1,32 @@
+#pragma once
+
+// Cascade-plot and navigation-chart data (paper Figs. 12-13, after Sewall
+// et al.): the cascade orders platforms by descending efficiency for each
+// application and tracks PP as platforms accumulate; the navigation chart
+// pairs PP with code convergence.
+
+#include <string>
+#include <vector>
+
+#include "metrics/pp_metric.hpp"
+
+namespace hacc::metrics {
+
+struct CascadeSeries {
+  std::string application;
+  // Platforms ordered by descending efficiency.
+  std::vector<std::pair<std::string, double>> ordered;
+  // PP over the first k platforms of the ordering, k = 1..N.
+  std::vector<double> cumulative_pp;
+  double final_pp = 0.0;
+};
+
+CascadeSeries make_cascade(const EfficiencySet& eff);
+
+struct NavigationPoint {
+  std::string application;
+  double convergence = 0.0;  // 1 - code divergence
+  double pp = 0.0;
+};
+
+}  // namespace hacc::metrics

@@ -1,0 +1,56 @@
+#pragma once
+
+// The Code Base Investigator core (paper §3.3, §6.2): given a source tree
+// and a set of build configurations (platform define sets), determine which
+// physical lines each configuration compiles.  The resulting usage-mask
+// histogram drives both the code-divergence metric and the Table 2 SLOC
+// breakdown ("Unused" lines are code compiled by no configuration).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/cbi/pp_eval.hpp"
+#include "metrics/divergence.hpp"
+
+namespace hacc::metrics::cbi {
+
+struct Configuration {
+  std::string name;
+  DefineMap defines;
+};
+
+struct ClassifiedFile {
+  std::string name;
+  // Per physical line: bit i set when configs[i] compiles the line.
+  std::vector<std::uint32_t> masks;
+  // Per physical line: carries code (non-blank, non-comment).
+  std::vector<bool> is_code;
+
+  // Code lines only: usage-mask histogram.
+  MaskHistogram histogram() const;
+  std::size_t sloc() const;  // total code lines
+};
+
+ClassifiedFile classify_file(const std::string& name, const std::string& content,
+                             std::span<const Configuration> configs);
+
+struct SourceFile {
+  std::string name;
+  std::string content;
+};
+
+struct TreeClassification {
+  std::vector<ClassifiedFile> files;
+  MaskHistogram histogram;       // merged over all files (code lines only)
+  std::size_t total_sloc = 0;    // all code lines
+  std::size_t unused_sloc = 0;   // code lines no configuration compiles
+
+  double divergence(int n_configs) const { return code_divergence(histogram, n_configs); }
+  double convergence(int n_configs) const { return code_convergence(histogram, n_configs); }
+};
+
+TreeClassification classify_tree(std::span<const SourceFile> files,
+                                 std::span<const Configuration> configs);
+
+}  // namespace hacc::metrics::cbi

@@ -1,0 +1,24 @@
+#pragma once
+
+// Preprocessor #if expression evaluation: integer constant expressions with
+// the usual C operator set, defined(NAME), and one level of object-like
+// macro expansion (recursively, depth-limited).  Undefined identifiers
+// evaluate to 0, as in the C preprocessor.
+
+#include <map>
+#include <string>
+
+namespace hacc::metrics::cbi {
+
+using DefineMap = std::map<std::string, std::string>;
+
+struct EvalResult {
+  long value = 0;
+  bool ok = false;
+};
+
+// Evaluates the expression text after the "#if".  `defines` maps macro name
+// to replacement text ("" for a plain #define NAME, which evaluates as 1).
+EvalResult eval_pp_expression(const std::string& expr, const DefineMap& defines);
+
+}  // namespace hacc::metrics::cbi

@@ -1,0 +1,134 @@
+#include "metrics/cbi/source_lexer.hpp"
+
+namespace hacc::metrics::cbi {
+
+namespace {
+
+// Removes // and /* */ comments; blanks string/char literal CONTENTS (the
+// quotes stay, so "// not a comment" cannot confuse later passes).  Returns
+// one processed character stream with newlines preserved.
+std::string strip_comments(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar } state =
+      State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += c;  // keep line structure inside block comments
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out += "..";  // blank escape pair
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += (c == '\n') ? '\n' : '.';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "..";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += (c == '\n') ? '\n' : '.';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool blank(const std::string& s) {
+  for (const char c : s) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+LexedSource lex_source(const std::string& content) {
+  const std::string clean = strip_comments(content);
+
+  // Split into physical lines.
+  std::vector<std::string> phys;
+  std::string cur;
+  for (const char c : clean) {
+    if (c == '\n') {
+      phys.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) phys.push_back(cur);
+
+  LexedSource out;
+  out.n_physical_lines = static_cast<int>(phys.size());
+  out.has_code.resize(phys.size());
+  for (std::size_t i = 0; i < phys.size(); ++i) out.has_code[i] = !blank(phys[i]);
+
+  // Join continuations into logical lines.
+  for (int i = 0; i < static_cast<int>(phys.size()); ++i) {
+    LogicalLine ll;
+    ll.first_physical = i;
+    std::string text = phys[i];
+    while (!text.empty() && text.back() == '\\' && i + 1 < static_cast<int>(phys.size())) {
+      text.pop_back();
+      ++i;
+      text += phys[i];
+    }
+    ll.n_physical = i - ll.first_physical + 1;
+    ll.text = trimmed(text);
+    ll.is_directive = !ll.text.empty() && ll.text[0] == '#';
+    out.logical.push_back(std::move(ll));
+  }
+  return out;
+}
+
+}  // namespace hacc::metrics::cbi

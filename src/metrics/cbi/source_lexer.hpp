@@ -1,0 +1,28 @@
+#pragma once
+
+// Source lexing for the mini Code Base Investigator: strips comments and
+// string contents, joins backslash continuations into logical lines, and
+// flags which physical lines carry code (the SLOC definition of Table 2,
+// which excludes whitespace and comments).
+
+#include <string>
+#include <vector>
+
+namespace hacc::metrics::cbi {
+
+struct LogicalLine {
+  std::string text;        // comment-stripped, continuation-joined
+  int first_physical = 0;  // index of the first physical line
+  int n_physical = 1;      // physical lines covered (continuations)
+  bool is_directive = false;
+};
+
+struct LexedSource {
+  int n_physical_lines = 0;
+  std::vector<bool> has_code;  // per physical line, after comment stripping
+  std::vector<LogicalLine> logical;
+};
+
+LexedSource lex_source(const std::string& content);
+
+}  // namespace hacc::metrics::cbi

@@ -1,0 +1,29 @@
+#include "metrics/pp_metric.hpp"
+
+namespace hacc::metrics {
+
+double performance_portability(const std::vector<double>& efficiencies) {
+  if (efficiencies.empty()) return 0.0;
+  double denom = 0.0;
+  for (const double e : efficiencies) {
+    if (e <= 0.0) return 0.0;  // unsupported platform: not portable (eq. 1)
+    denom += 1.0 / e;
+  }
+  return static_cast<double>(efficiencies.size()) / denom;
+}
+
+double application_efficiency(double best_seconds, double achieved_seconds) {
+  if (achieved_seconds <= 0.0 || best_seconds <= 0.0) return 0.0;
+  return best_seconds / achieved_seconds;
+}
+
+std::vector<double> EfficiencySet::values() const {
+  std::vector<double> v;
+  v.reserve(by_platform.size());
+  for (const auto& [_, e] : by_platform) v.push_back(e);
+  return v;
+}
+
+double EfficiencySet::pp() const { return performance_portability(values()); }
+
+}  // namespace hacc::metrics

@@ -1,0 +1,29 @@
+#pragma once
+
+// The performance-portability metric of Pennycook, Sewall & Lee (paper §3.2,
+// eq. 1): the harmonic mean of an application's efficiency over a platform
+// set, defined to be zero when any platform is unsupported.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hacc::metrics {
+
+// PP(a, p, H) over the given per-platform efficiencies e_i in [0, 1].
+// Any non-positive efficiency (unsupported platform) yields 0.
+double performance_portability(const std::vector<double>& efficiencies);
+
+// Application efficiency: best observed time over achieved time.
+double application_efficiency(double best_seconds, double achieved_seconds);
+
+// Efficiency table for one application: platform name -> efficiency.
+struct EfficiencySet {
+  std::string application;
+  std::map<std::string, double> by_platform;
+
+  std::vector<double> values() const;
+  double pp() const;
+};
+
+}  // namespace hacc::metrics

@@ -1,0 +1,148 @@
+#include "migrate/cuda_parser.hpp"
+
+#include <cctype>
+
+namespace hacc::migrate {
+
+namespace {
+
+int line_of(const std::string& s, std::size_t pos) {
+  int line = 1;
+  for (std::size_t i = 0; i < pos && i < s.size(); ++i) {
+    if (s[i] == '\n') ++line;
+  }
+  return line;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Finds the matching close character, honoring nesting.
+std::size_t match_forward(const std::string& s, std::size_t open, char oc, char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) ++depth;
+    if (s[i] == cc) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+Param parse_param(const std::string& text) {
+  // The name is the last identifier; everything before it is the type.
+  const std::string t = trim(text);
+  std::size_t end = t.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(t[end - 1]))) --end;
+  std::size_t start = end;
+  while (start > 0 && (std::isalnum(static_cast<unsigned char>(t[start - 1])) ||
+                       t[start - 1] == '_')) {
+    --start;
+  }
+  Param p;
+  p.name = t.substr(start, end - start);
+  p.type = trim(t.substr(0, start));
+  return p;
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> split_top_level_args(const std::string& text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  return out;
+}
+
+ParsedSource parse_cuda(const std::string& source) {
+  ParsedSource out;
+
+  // ---- __global__ kernel definitions ----
+  std::size_t pos = 0;
+  while ((pos = source.find("__global__", pos)) != std::string::npos) {
+    const std::size_t decl_start = pos;
+    pos += 10;
+    // Expect: __global__ void NAME ( params ) { body }
+    const std::size_t paren = source.find('(', pos);
+    if (paren == std::string::npos) break;
+    // Kernel name: identifier immediately before '('.
+    std::size_t name_end = paren;
+    while (name_end > pos && std::isspace(static_cast<unsigned char>(source[name_end - 1]))) {
+      --name_end;
+    }
+    std::size_t name_start = name_end;
+    while (name_start > pos && is_identifier_char(source[name_start - 1])) --name_start;
+    const std::string name = source.substr(name_start, name_end - name_start);
+    const std::size_t close = match_forward(source, paren, '(', ')');
+    if (close == std::string::npos) break;
+    const std::size_t brace = source.find('{', close);
+    if (brace == std::string::npos) break;
+    const std::size_t brace_close = match_forward(source, brace, '{', '}');
+    if (brace_close == std::string::npos) break;
+
+    KernelDef k;
+    k.name = name;
+    k.line = line_of(source, decl_start);
+    for (const auto& p : split_top_level_args(source.substr(paren + 1, close - paren - 1))) {
+      if (!p.empty()) k.params.push_back(parse_param(p));
+    }
+    k.body = source.substr(brace + 1, brace_close - brace - 1);
+    out.kernels.push_back(std::move(k));
+    pos = brace_close + 1;
+  }
+
+  // ---- <<<grid, block>>> launch sites ----
+  pos = 0;
+  while ((pos = source.find("<<<", pos)) != std::string::npos) {
+    // Kernel name: identifier before <<<.
+    std::size_t name_end = pos;
+    while (name_end > 0 && std::isspace(static_cast<unsigned char>(source[name_end - 1]))) {
+      --name_end;
+    }
+    std::size_t name_start = name_end;
+    while (name_start > 0 && is_identifier_char(source[name_start - 1])) --name_start;
+    const std::size_t cfg_end = source.find(">>>", pos);
+    if (cfg_end == std::string::npos) break;
+    const std::size_t args_open = source.find('(', cfg_end);
+    if (args_open == std::string::npos) break;
+    const std::size_t args_close = match_forward(source, args_open, '(', ')');
+    if (args_close == std::string::npos) break;
+    std::size_t stmt_end = source.find(';', args_close);
+    if (stmt_end == std::string::npos) stmt_end = args_close;
+
+    LaunchSite site;
+    site.kernel = source.substr(name_start, name_end - name_start);
+    site.line = line_of(source, name_start);
+    site.begin = name_start;
+    site.end = stmt_end + 1;
+    const auto cfg = split_top_level_args(source.substr(pos + 3, cfg_end - pos - 3));
+    if (!cfg.empty()) site.grid = cfg[0];
+    if (cfg.size() > 1) site.block = cfg[1];
+    site.args = split_top_level_args(source.substr(args_open + 1, args_close - args_open - 1));
+    out.launches.push_back(std::move(site));
+    pos = cfg_end + 3;
+  }
+
+  return out;
+}
+
+}  // namespace hacc::migrate

@@ -1,0 +1,48 @@
+#pragma once
+
+// Parser for the CUDA subset the migration pipeline understands: __global__
+// kernel definitions and <<<...>>> launch sites.  This models the front of
+// the paper's migration pipeline; CRK-HACC's ~30k lines of CUDA flow
+// through SYCLomatic + a Clang-LibTooling functor tool (§4.1-4.2), and this
+// reproduction implements the same transformations for a structured subset.
+
+#include <string>
+#include <vector>
+
+namespace hacc::migrate {
+
+struct Param {
+  std::string type;  // e.g. "float*", "const int"
+  std::string name;
+};
+
+struct KernelDef {
+  std::string name;
+  std::vector<Param> params;
+  std::string body;  // text between the outermost braces
+  int line = 0;      // 1-based line of the __global__ token
+};
+
+struct LaunchSite {
+  std::string kernel;
+  std::string grid;   // first <<< >>> operand
+  std::string block;  // second operand
+  std::vector<std::string> args;
+  int line = 0;
+  std::size_t begin = 0;  // byte range of the whole launch statement
+  std::size_t end = 0;    // one past the trailing ';'
+};
+
+struct ParsedSource {
+  std::vector<KernelDef> kernels;
+  std::vector<LaunchSite> launches;
+};
+
+// Parses kernels and launches; unparseable constructs are skipped (the
+// caller diagnoses anything it expected but did not find).
+ParsedSource parse_cuda(const std::string& source);
+
+// Splits a comma-separated argument list at top level (respecting nesting).
+std::vector<std::string> split_top_level_args(const std::string& text);
+
+}  // namespace hacc::migrate

@@ -1,0 +1,37 @@
+#pragma once
+
+// Migration diagnostics, mirroring SYCLomatic's behaviour (§4.1): when code
+// cannot be migrated automatically — or cannot be guaranteed to migrate
+// safely — the tool emits a diagnostic so the developer knows where manual
+// attention is required.
+
+#include <string>
+#include <vector>
+
+namespace hacc::migrate {
+
+enum class Severity {
+  kInfo,     // migrated cleanly, behaviour identical
+  kWarning,  // migrated, but semantics may differ (precision, sub-group size)
+  kError,    // not migrated; manual port required
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  int line = 0;  // 1-based line in the original source
+  std::string rule;
+  std::string message;
+};
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+using Diagnostics = std::vector<Diagnostic>;
+
+}  // namespace hacc::migrate

@@ -1,0 +1,38 @@
+#pragma once
+
+// The functor tool (§4.2, Fig. 1): SYCLomatic migrates CUDA kernels to
+// plain functions launched via unnamed lambdas, which breaks CRK-HACC's
+// launch-by-name abstraction.  This tool transforms each kernel into a
+// function object: the class declaration and constructor go to a generated
+// header, the call operator containing the (rewritten) kernel body stays in
+// the source file — preserving the original file structure.
+
+#include <string>
+
+#include "migrate/cuda_parser.hpp"
+#include "migrate/diagnostics.hpp"
+
+namespace hacc::migrate {
+
+struct MigrationResult {
+  std::string header;  // function-object declarations + constructors
+  std::string source;  // call operators + rewritten launches
+  Diagnostics diagnostics;
+  int kernels_migrated = 0;
+  int launches_migrated = 0;
+};
+
+// Migrates one CUDA source file end to end.
+MigrationResult migrate_source(const std::string& cuda_source,
+                               const std::string& header_name = "kernels_functors.hpp");
+
+// Emits the function-object declaration for one kernel (header side).
+std::string emit_functor_declaration(const KernelDef& kernel);
+
+// Emits the call-operator definition with the rewritten body (source side).
+std::string emit_functor_definition(const KernelDef& kernel, Diagnostics& diags);
+
+// Rewrites one launch site into a queue submission of the function object.
+std::string emit_launch(const LaunchSite& site);
+
+}  // namespace hacc::migrate

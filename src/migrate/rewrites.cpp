@@ -1,0 +1,217 @@
+#include "migrate/rewrites.hpp"
+
+#include <cctype>
+#include <functional>
+
+#include "migrate/cuda_parser.hpp"
+
+namespace hacc::migrate {
+
+namespace {
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+int line_of(const std::string& s, std::size_t pos) {
+  int line = 0;
+  for (std::size_t i = 0; i < pos && i < s.size(); ++i) {
+    if (s[i] == '\n') ++line;
+  }
+  return line;
+}
+
+std::size_t match_paren(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    if (s[i] == ')') {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Replaces whole-word identifiers.
+std::string replace_identifier(const std::string& text, const std::string& from,
+                               const std::string& to) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t hit = text.find(from, pos);
+    if (hit == std::string::npos) {
+      out += text.substr(pos);
+      break;
+    }
+    const bool left_ok = hit == 0 || !is_identifier_char(text[hit - 1]);
+    const bool right_ok =
+        hit + from.size() >= text.size() || !is_identifier_char(text[hit + from.size()]);
+    out += text.substr(pos, hit - pos);
+    out += (left_ok && right_ok) ? to : from;
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+// Rewrites calls `name(args...)` via a callback producing the replacement.
+using CallRewriter =
+    std::function<std::string(const std::vector<std::string>& args, int line,
+                              Diagnostics& diags)>;
+
+std::string rewrite_calls(const std::string& text, const std::string& name,
+                          int base_line, const CallRewriter& rewriter,
+                          Diagnostics& diags) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t hit = text.find(name, pos);
+    if (hit == std::string::npos) {
+      out += text.substr(pos);
+      break;
+    }
+    const bool left_ok = hit == 0 || !is_identifier_char(text[hit - 1]);
+    std::size_t open = hit + name.size();
+    while (open < text.size() && std::isspace(static_cast<unsigned char>(text[open]))) {
+      ++open;
+    }
+    if (!left_ok || open >= text.size() || text[open] != '(') {
+      out += text.substr(pos, hit + name.size() - pos);
+      pos = hit + name.size();
+      continue;
+    }
+    const std::size_t close = match_paren(text, open);
+    if (close == std::string::npos) {
+      out += text.substr(pos);
+      break;
+    }
+    const auto args = split_top_level_args(text.substr(open + 1, close - open - 1));
+    out += text.substr(pos, hit - pos);
+    out += rewriter(args, base_line + line_of(text, hit), diags);
+    pos = close + 1;
+  }
+  return out;
+}
+
+std::string strip_address_of(std::string arg) {
+  const auto b = arg.find_first_not_of(" \t");
+  if (b != std::string::npos && arg[b] == '&') return arg.substr(b + 1);
+  return arg;
+}
+
+}  // namespace
+
+std::string rewrite_kernel_body(const std::string& body, int base_line,
+                                Diagnostics& diags) {
+  std::string text = body;
+
+  // --- Warp shuffles -> sub-group algorithms (§5.1) ---
+  text = rewrite_calls(
+      text, "__shfl_xor_sync", base_line,
+      [](const std::vector<std::string>& args, int line, Diagnostics& d) {
+        if (args.size() < 3) {
+          d.push_back({Severity::kError, line, "shfl-xor",
+                       "__shfl_xor_sync with unexpected arguments"});
+          return std::string("__shfl_xor_sync(/* unmigrated */)");
+        }
+        // The full-warp mask argument is dropped: sub-group ops are
+        // implicitly whole-group in SYCL.
+        return "hacc::xsycl::permute_by_xor(sg, " + args[1] + ", " + args[2] + ")";
+      },
+      diags);
+  text = rewrite_calls(
+      text, "__shfl_sync", base_line,
+      [](const std::vector<std::string>& args, int line, Diagnostics& d) {
+        if (args.size() < 3) {
+          d.push_back({Severity::kError, line, "shfl",
+                       "__shfl_sync with unexpected arguments"});
+          return std::string("__shfl_sync(/* unmigrated */)");
+        }
+        d.push_back({Severity::kInfo, line, "shfl",
+                     "uniform-index shuffles are better expressed as "
+                     "group_broadcast (see §5.1)"});
+        return "hacc::xsycl::select_from_group(sg, " + args[1] + ", " + args[2] + ")";
+      },
+      diags);
+
+  // --- Atomics: CUDA atomicMin/Max are integer-only; SYCL's atomic_ref
+  // exposes float fetch_min/fetch_max on all hardware (§5.1). ---
+  const auto atomic_rule = [&](const char* cuda_name, const char* method,
+                               bool note_float) {
+    text = rewrite_calls(
+        text, cuda_name, base_line,
+        [method, note_float, cuda_name](const std::vector<std::string>& args, int line,
+                                        Diagnostics& d) {
+          if (args.size() != 2) {
+            d.push_back({Severity::kError, line, "atomic",
+                         std::string(cuda_name) + " with unexpected arguments"});
+            return std::string(cuda_name) + "(/* unmigrated */)";
+          }
+          if (note_float) {
+            d.push_back({Severity::kInfo, line, "atomic",
+                         std::string(cuda_name) +
+                             ": SYCL supports floating-point min/max atomics "
+                             "natively; emulated via CAS where unsupported"});
+          }
+          return "hacc::xsycl::atomic_ref(" + strip_address_of(args[0]) +
+                 ", sg.counters())." + method + "(" + args[1] + ")";
+        },
+        diags);
+  };
+  atomic_rule("atomicAdd", "fetch_add", false);
+  atomic_rule("atomicMin", "fetch_min", true);
+  atomic_rule("atomicMax", "fetch_max", true);
+
+  // --- Removable intrinsics: __ldg can be safely dropped (§4.1). ---
+  text = rewrite_calls(
+      text, "__ldg", base_line,
+      [](const std::vector<std::string>& args, int line, Diagnostics& d) {
+        d.push_back({Severity::kInfo, line, "ldg",
+                     "__ldg removed: read-only cache hints have no SYCL "
+                     "equivalent and can be safely removed"});
+        return args.empty() ? std::string() : "(" + strip_address_of(args[0]) + ")";
+      },
+      diags);
+
+  // --- Math functions with different precision guarantees (§4.1). ---
+  for (const char* fn : {"frexp", "__powf", "__expf"}) {
+    if (text.find(fn) != std::string::npos) {
+      diags.push_back({Severity::kWarning, base_line, "math-precision",
+                       std::string(fn) +
+                           ": precision guarantees differ between CUDA and SYCL "
+                           "built-ins; consider sycl::native equivalents (§5.1)"});
+    }
+  }
+  text = replace_identifier(text, "__powf", "std::pow");
+  text = replace_identifier(text, "__expf", "std::exp");
+
+  // --- Thread geometry built-ins. ---
+  if (text.find("threadIdx") != std::string::npos) {
+    diags.push_back({Severity::kWarning, base_line, "thread-geometry",
+                     "threadIdx maps to a sub-group lane: the functor harness "
+                     "iterates lanes explicitly; verify the loop structure"});
+  }
+  text = replace_identifier(text, "blockIdx.x", "sg.index()");
+  text = replace_identifier(text, "blockDim.x", "std::size_t(sg.size())");
+  text = replace_identifier(text, "threadIdx.x", "lane");
+  text = rewrite_calls(
+      text, "__syncthreads", base_line,
+      [](const std::vector<std::string>&, int, Diagnostics&) {
+        return std::string("sg.barrier()");
+      },
+      diags);
+
+  // --- Warp-size assumptions (§4.3): flag, do not rewrite. ---
+  if (text.find("warpSize") != std::string::npos || text.find("32") != std::string::npos) {
+    // Only warn for the explicit built-in; bare 32s are too noisy.
+    if (text.find("warpSize") != std::string::npos) {
+      diags.push_back({Severity::kWarning, base_line, "sub-group-size",
+                       "warpSize is not portable: sub-group sizes vary (AMD "
+                       "32/64, Intel 16/32, NVIDIA 32); use "
+                       "HACC_SYCL_SG_SIZE and reqd_sub_group_size"});
+    }
+  }
+
+  return text;
+}
+
+}  // namespace hacc::migrate

@@ -1,0 +1,21 @@
+#pragma once
+
+// Kernel-body rewrite rules: the CUDA-to-xsycl mapping table applied during
+// migration, with SYCLomatic-style diagnostics (§4.1).  Covers the
+// constructs the paper discusses: warp shuffles (migrated to group
+// algorithms, §5.1), integer-only atomics vs SYCL's float fetch_min/max,
+// removable intrinsics like __ldg, and math functions with different
+// precision guarantees.
+
+#include <string>
+
+#include "migrate/diagnostics.hpp"
+
+namespace hacc::migrate {
+
+// Applies every rewrite rule to a kernel body; appends diagnostics.
+// base_line is the 1-based line where the body starts in the original file.
+std::string rewrite_kernel_body(const std::string& body, int base_line,
+                                Diagnostics& diags);
+
+}  // namespace hacc::migrate

@@ -1,0 +1,68 @@
+#pragma once
+
+// Analytic kernel cost model: instrumented op counts from functional xsycl
+// runs, priced by a PlatformModel.  Produces per-kernel seconds, with a
+// breakdown for diagnosis, reproducing the variant affinities of §5.4.
+
+#include <map>
+#include <string>
+
+#include "platform/platform.hpp"
+#include "xsycl/comm_variant.hpp"
+#include "xsycl/op_counters.hpp"
+
+namespace hacc::platform {
+
+// Static per-kernel characteristics the counters cannot carry.
+struct KernelStatics {
+  double flops_per_interaction = 100.0;
+  int state_words = 8;   // exchanged composite object size
+  int accum_words = 1;   // per-particle accumulator registers
+  int base_regs = 32;    // bookkeeping registers independent of variant
+};
+
+// Per-kernel statics table keyed by the paper's timer names (upGeo, upCor,
+// upBarEx, upBarAc[F], upBarDu[F], grav_pp).  Defined in calibration.cpp.
+const KernelStatics& kernel_statics(const std::string& kernel);
+
+// Native-compiler factor per kernel: nvcc/hipcc versus SYCL on identical
+// hardware.  §4.4: "some kernels are slightly faster and some are slightly
+// slower... different compilers choosing different optimizations"; on
+// average SYCL came out slightly ahead.  Defined in calibration.cpp.
+double cuda_hip_kernel_factor(const std::string& kernel);
+
+// One kernel launch's tuning knobs (paper §5.2).
+struct TuningChoice {
+  int sg_size = 32;
+  bool large_grf = false;  // Intel 256-register mode
+  bool fast_math = true;   // oneAPI DPC++ defaults to fast math (§4.4)
+};
+
+struct CostBreakdown {
+  double compute = 0.0;  // flop-equivalents
+  double comm = 0.0;
+  double atomics = 0.0;
+  double spills = 0.0;
+  double total = 0.0;
+  int regs_needed = 0;
+  int regs_available = 0;
+  double occupancy = 1.0;
+  double seconds = 0.0;
+};
+
+// Registers a kernel variant needs per work-item.  The Broadcast variant
+// loads both interaction sides and recomputes partner terms (§5.3.2), which
+// is what blows up its register footprint.
+int registers_needed(const KernelStatics& ks, xsycl::CommVariant variant);
+
+// Prices one kernel's counted work on one platform.
+CostBreakdown predict(const xsycl::OpCounters& ops, const KernelStatics& ks,
+                      xsycl::CommVariant variant, const TuningChoice& tuning,
+                      const PlatformModel& platform);
+
+// Convenience: seconds only.
+double predict_seconds(const xsycl::OpCounters& ops, const KernelStatics& ks,
+                       xsycl::CommVariant variant, const TuningChoice& tuning,
+                       const PlatformModel& platform);
+
+}  // namespace hacc::platform

@@ -1,0 +1,18 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+
+namespace hacc::platform {
+
+int PlatformModel::regs_available(int sg_size, bool large_grf) const {
+  // Register file per hardware thread is fixed; fewer work-items per thread
+  // (smaller sub-groups) leave more registers per work-item (§5.2).
+  double regs = static_cast<double>(regs_per_item) *
+                (static_cast<double>(preferred_subgroup) / sg_size);
+  if (large_grf && has_large_grf) regs *= 2.0;
+  return static_cast<int>(regs);
+}
+
+std::vector<PlatformModel> all_platforms() { return {polaris(), frontier(), aurora()}; }
+
+}  // namespace hacc::platform

@@ -1,0 +1,270 @@
+#include "platform/study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hacc::platform {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using xsycl::CommVariant;
+
+}  // namespace
+
+const char* to_string(AppConfig c) {
+  switch (c) {
+    case AppConfig::kCudaHipFastMath: return "CUDA/HIP (Fast Math)";
+    case AppConfig::kSyclBroadcast: return "SYCL (Broadcast)";
+    case AppConfig::kSyclMemory32: return "SYCL (Memory, 32-bit)";
+    case AppConfig::kSyclMemoryObject: return "SYCL (Memory, Object)";
+    case AppConfig::kSyclSelect: return "SYCL (Select)";
+    case AppConfig::kSyclVisa: return "SYCL (vISA)";
+    case AppConfig::kSyclSelectMemory: return "SYCL (Select + Memory)";
+    case AppConfig::kSyclSelectVisa: return "SYCL (Select + vISA)";
+    case AppConfig::kUnifiedFastMath: return "Unified (Fast Math)";
+  }
+  return "?";
+}
+
+std::vector<AppConfig> paper_configurations() {
+  return {AppConfig::kCudaHipFastMath, AppConfig::kSyclBroadcast,
+          AppConfig::kSyclMemory32,    AppConfig::kSyclMemoryObject,
+          AppConfig::kSyclSelect,      AppConfig::kSyclVisa,
+          AppConfig::kSyclSelectMemory, AppConfig::kSyclSelectVisa,
+          AppConfig::kUnifiedFastMath};
+}
+
+PortabilityStudy::PortabilityStudy(const WorkloadOptions& opt)
+    : cache_(opt), platforms_(all_platforms()) {}
+
+const std::vector<std::string>& PortabilityStudy::figure_kernels() {
+  static const std::vector<std::string> kernels = {
+      "upBarAc", "upBarAcF", "upBarDu", "upBarDuF", "upBarEx", "upCor", "upGeo"};
+  return kernels;
+}
+
+const std::vector<std::string>& PortabilityStudy::app_kernels() {
+  static const std::vector<std::string> kernels = {
+      "upBarAc", "upBarAcF", "upBarDu", "upBarDuF", "upBarEx", "upCor", "upGeo",
+      "grav_pp"};
+  return kernels;
+}
+
+TuningChoice PortabilityStudy::tuning_for(const PlatformModel& p,
+                                          CommVariant v) const {
+  TuningChoice t;
+  t.fast_math = true;
+  if (p.name == "Aurora") {
+    // §5.2: almost all results use 256 registers and sub-group 32; the
+    // restructured broadcast kernels use sub-group 16.
+    t.large_grf = true;
+    t.sg_size = v == CommVariant::kBroadcast ? 16 : 32;
+  } else if (p.name == "Frontier") {
+    t.sg_size = 64;  // HACC_SYCL_SG_SIZE=64 (Appendix A.3)
+  } else {
+    t.sg_size = 32;  // HACC_SYCL_SG_SIZE=32 (Appendix A.2)
+  }
+  return t;
+}
+
+double PortabilityStudy::sycl_seconds(const PlatformModel& p, const std::string& kernel,
+                                      CommVariant v, bool fast_math,
+                                      std::optional<int> sg_override,
+                                      std::optional<bool> grf_override) const {
+  if (v == CommVariant::kVISA && !p.supports_visa) return kInf;
+  TuningChoice t = tuning_for(p, v);
+  t.fast_math = fast_math;
+  if (sg_override) t.sg_size = *sg_override;
+  if (grf_override) t.large_grf = *grf_override;
+  const auto& profiles = cache_.get(v, t.sg_size);
+  const auto it = profiles.find(kernel);
+  if (it == profiles.end()) return kInf;
+  return predict_seconds(it->second, kernel_statics(kernel), v, t, p);
+}
+
+double PortabilityStudy::cuda_hip_seconds(const PlatformModel& p,
+                                          const std::string& kernel,
+                                          bool fast_math) const {
+  if (!p.supports_cuda_hip) return kInf;  // no CUDA/HIP on Aurora (§6.1)
+  // Native warp shuffles behave like the Select variant; a per-kernel
+  // compiler factor captures the nvcc/hipcc vs SYCL differences (§4.4:
+  // "some kernels slightly faster and some slightly slower").
+  const double sycl = sycl_seconds(p, kernel, CommVariant::kSelect, fast_math);
+  return sycl * cuda_hip_kernel_factor(kernel);
+}
+
+double PortabilityStudy::best_seconds(const PlatformModel& p,
+                                      const std::string& kernel) const {
+  double best = kInf;
+  for (const CommVariant v : xsycl::kAllVariants) {
+    best = std::min(best, sycl_seconds(p, kernel, v));
+  }
+  best = std::min(best, cuda_hip_seconds(p, kernel, /*fast_math=*/true));
+  return best;
+}
+
+std::map<std::string, std::map<CommVariant, double>>
+PortabilityStudy::variant_efficiencies(const PlatformModel& p) const {
+  std::map<std::string, std::map<CommVariant, double>> out;
+  for (const auto& kernel : figure_kernels()) {
+    // Figures 9-11 normalize to the best SYCL variant on the same hardware.
+    double best = kInf;
+    std::map<CommVariant, double> seconds;
+    for (const CommVariant v : xsycl::kAllVariants) {
+      const double s = sycl_seconds(p, kernel, v);
+      if (std::isfinite(s)) {
+        seconds[v] = s;
+        best = std::min(best, s);
+      }
+    }
+    for (const auto& [v, s] : seconds) out[kernel][v] = best / s;
+  }
+  return out;
+}
+
+double PortabilityStudy::app_seconds(const PlatformModel& p, AppConfig config) const {
+  const bool is_aurora = p.name == "Aurora";
+  double total = 0.0;
+  for (const auto& kernel : app_kernels()) {
+    double s = kInf;
+    switch (config) {
+      case AppConfig::kCudaHipFastMath:
+        s = cuda_hip_seconds(p, kernel, true);
+        break;
+      case AppConfig::kSyclBroadcast:
+        s = sycl_seconds(p, kernel, CommVariant::kBroadcast);
+        break;
+      case AppConfig::kSyclMemory32:
+        s = sycl_seconds(p, kernel, CommVariant::kMemory32);
+        break;
+      case AppConfig::kSyclMemoryObject:
+        s = sycl_seconds(p, kernel, CommVariant::kMemoryObject);
+        break;
+      case AppConfig::kSyclSelect:
+        s = sycl_seconds(p, kernel, CommVariant::kSelect);
+        break;
+      case AppConfig::kSyclVisa:
+        s = sycl_seconds(p, kernel, CommVariant::kVISA);
+        break;
+      case AppConfig::kSyclSelectMemory:
+        s = is_aurora ? sycl_seconds(p, kernel, CommVariant::kMemoryObject)
+                      : sycl_seconds(p, kernel, CommVariant::kSelect);
+        break;
+      case AppConfig::kSyclSelectVisa:
+        s = is_aurora ? sycl_seconds(p, kernel, CommVariant::kVISA)
+                      : sycl_seconds(p, kernel, CommVariant::kSelect);
+        break;
+      case AppConfig::kUnifiedFastMath:
+        if (is_aurora) {
+          // Best pure-SYCL variant per kernel on Aurora.
+          s = kInf;
+          for (const CommVariant v : xsycl::kAllVariants) {
+            s = std::min(s, sycl_seconds(p, kernel, v));
+          }
+        } else {
+          s = cuda_hip_seconds(p, kernel, true);
+        }
+        break;
+    }
+    if (!std::isfinite(s)) return kInf;
+    total += s;
+  }
+  return total;
+}
+
+double PortabilityStudy::best_app_seconds(const PlatformModel& p) const {
+  double total = 0.0;
+  for (const auto& kernel : app_kernels()) total += best_seconds(p, kernel);
+  return total;
+}
+
+metrics::EfficiencySet PortabilityStudy::app_efficiencies(AppConfig config) const {
+  metrics::EfficiencySet eff;
+  eff.application = to_string(config);
+  for (const auto& p : platforms_) {
+    const double s = app_seconds(p, config);
+    eff.by_platform[p.name] =
+        std::isfinite(s) ? metrics::application_efficiency(best_app_seconds(p), s) : 0.0;
+  }
+  return eff;
+}
+
+double PortabilityStudy::paper_problem_scale() const {
+  // Mini workload: n_side^3 gas particles, one predictor+corrector chain.
+  // Paper per-rank problem: 2 x 256^3 particles over five steps (§3.4.2),
+  // with an interaction-density correction for the production FOM problem's
+  // deeper neighbor lists and gravity cutoffs relative to the mini lattice.
+  const double mini = 8.0 * 8.0 * 8.0;
+  const double paper = 2.0 * 256.0 * 256.0 * 256.0;
+  const double interaction_density_correction = 6.5;
+  return paper / mini * 5.0 * interaction_density_correction;
+}
+
+std::vector<PortabilityStudy::Fig2Row> PortabilityStudy::figure2(
+    double problem_scale) const {
+  std::vector<Fig2Row> rows;
+  const auto add = [&](const std::string& label, auto fn) {
+    Fig2Row row;
+    row.label = label;
+    for (const auto& p : platforms_) {
+      const double s = fn(p);
+      if (std::isfinite(s)) row.seconds_by_platform[p.name] = s * problem_scale;
+    }
+    rows.push_back(std::move(row));
+  };
+
+  const auto total_sycl = [&](const PlatformModel& p, bool fast, bool default_tuning) {
+    double total = 0.0;
+    for (const auto& kernel : app_kernels()) {
+      double s;
+      if (default_tuning) {
+        // Initial migration (§4.3-4.4): Select everywhere, sub-group 32,
+        // default register file.
+        s = sycl_seconds(p, kernel, CommVariant::kSelect, fast, 32, false);
+      } else {
+        s = kInf;
+        for (const CommVariant v : xsycl::kAllVariants) {
+          s = std::min(s, sycl_seconds(p, kernel, v, fast));
+        }
+      }
+      if (!std::isfinite(s)) return kInf;
+      total += s;
+    }
+    return total;
+  };
+  const auto total_cuda = [&](const PlatformModel& p, bool fast) {
+    double total = 0.0;
+    for (const auto& kernel : app_kernels()) {
+      if (!p.supports_cuda_hip) return kInf;
+      const double s =
+          sycl_seconds(p, kernel, CommVariant::kSelect, fast) *
+          cuda_hip_kernel_factor(kernel);
+      if (!std::isfinite(s)) return kInf;
+      total += s;
+    }
+    return total;
+  };
+
+  add("CUDA (Default)", [&](const PlatformModel& p) {
+    return p.name == "Polaris" ? total_cuda(p, false) : kInf;
+  });
+  add("CUDA (Fast Math)", [&](const PlatformModel& p) {
+    return p.name == "Polaris" ? total_cuda(p, true) : kInf;
+  });
+  add("HIP (Default)", [&](const PlatformModel& p) {
+    return p.name == "Frontier" ? total_cuda(p, false) : kInf;
+  });
+  add("HIP (Fast Math)", [&](const PlatformModel& p) {
+    return p.name == "Frontier" ? total_cuda(p, true) : kInf;
+  });
+  add("SYCL (Default)",
+      [&](const PlatformModel& p) { return total_sycl(p, true, true); });
+  add("SYCL (Optimized)",
+      [&](const PlatformModel& p) { return total_sycl(p, true, false); });
+  return rows;
+}
+
+}  // namespace hacc::platform

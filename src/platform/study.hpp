@@ -1,0 +1,90 @@
+#pragma once
+
+// The portability study driver: combines measured op profiles with the
+// platform cost models to regenerate every figure of the paper's
+// evaluation — initial-migration times (Fig. 2), per-kernel variant
+// efficiencies (Figs. 9-11), the cascade plot (Fig. 12), and the
+// navigation chart (Fig. 13).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/cascade.hpp"
+#include "metrics/pp_metric.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/workload.hpp"
+
+namespace hacc::platform {
+
+// The language/variant configurations of Fig. 12's legend.
+enum class AppConfig {
+  kCudaHipFastMath,   // native CUDA on Polaris, HIP on Frontier; no Aurora
+  kSyclBroadcast,
+  kSyclMemory32,
+  kSyclMemoryObject,
+  kSyclSelect,
+  kSyclVisa,          // Aurora only
+  kSyclSelectMemory,  // Select on Polaris/Frontier, local memory on Aurora
+  kSyclSelectVisa,    // Select on Polaris/Frontier, vISA on Aurora
+  kUnifiedFastMath,   // CUDA/HIP on Polaris/Frontier, best SYCL on Aurora
+};
+
+const char* to_string(AppConfig c);
+std::vector<AppConfig> paper_configurations();
+
+class PortabilityStudy {
+ public:
+  explicit PortabilityStudy(const WorkloadOptions& opt = {});
+
+  // Kernel timer names in the paper's display order (Figs. 9-11) plus the
+  // short-range gravity kernel used for application-level totals.
+  static const std::vector<std::string>& figure_kernels();
+  static const std::vector<std::string>& app_kernels();
+
+  // Paper tuning choices (§5.2, Appendix A) for a variant on a platform.
+  TuningChoice tuning_for(const PlatformModel& p, xsycl::CommVariant v) const;
+
+  // Modeled seconds for one kernel; infinity when the variant/language is
+  // unavailable on the platform (e.g. vISA off Intel, CUDA on Aurora).
+  double sycl_seconds(const PlatformModel& p, const std::string& kernel,
+                      xsycl::CommVariant v, bool fast_math = true,
+                      std::optional<int> sg_override = std::nullopt,
+                      std::optional<bool> grf_override = std::nullopt) const;
+  double cuda_hip_seconds(const PlatformModel& p, const std::string& kernel,
+                          bool fast_math) const;
+
+  // Best time over every implementation available on the platform — the
+  // "hypothetical application" baseline of §6.1.
+  double best_seconds(const PlatformModel& p, const std::string& kernel) const;
+
+  // Per-kernel application efficiency of each SYCL variant (Figs. 9-11).
+  std::map<std::string, std::map<xsycl::CommVariant, double>> variant_efficiencies(
+      const PlatformModel& p) const;
+
+  // Application-level seconds under a Fig. 12 configuration (infinity when
+  // unsupported on the platform).
+  double app_seconds(const PlatformModel& p, AppConfig config) const;
+  double best_app_seconds(const PlatformModel& p) const;
+
+  // Fig. 12: efficiency set (and PP) for each configuration.
+  metrics::EfficiencySet app_efficiencies(AppConfig config) const;
+
+  // Fig. 2 rows: modeled total GPU seconds at paper scale.
+  struct Fig2Row {
+    std::string label;
+    std::map<std::string, double> seconds_by_platform;  // absent = unsupported
+  };
+  std::vector<Fig2Row> figure2(double problem_scale) const;
+
+  // Scale factor from the mini workload to the paper's per-rank problem
+  // (2 x 256^3 particles, five steps).
+  double paper_problem_scale() const;
+
+ private:
+  mutable ProfileCache cache_;
+  std::vector<PlatformModel> platforms_;
+};
+
+}  // namespace hacc::platform

@@ -1,0 +1,62 @@
+#include "platform/tuning.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hacc::platform {
+
+double AutoTuner::seconds_for(const PlatformModel& p, const std::string& kernel,
+                              xsycl::CommVariant v, int sg, bool grf) const {
+  return study_->sycl_seconds(p, kernel, v, /*fast_math=*/true, sg, grf);
+}
+
+double AutoTuner::paper_seconds(const PlatformModel& p,
+                                const std::string& kernel) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto v : xsycl::kAllVariants) {
+    best = std::min(best, study_->sycl_seconds(p, kernel, v));
+  }
+  return best;
+}
+
+TunedKernel AutoTuner::tune_kernel(const PlatformModel& p,
+                                   const std::string& kernel) const {
+  TunedKernel out;
+  out.kernel = kernel;
+  out.seconds = std::numeric_limits<double>::infinity();
+  const std::vector<bool> grf_modes =
+      p.has_large_grf ? std::vector<bool>{false, true} : std::vector<bool>{false};
+  for (const auto v : xsycl::kAllVariants) {
+    for (const int sg : p.subgroup_sizes) {
+      for (const bool grf : grf_modes) {
+        const double s = seconds_for(p, kernel, v, sg, grf);
+        if (s < out.seconds) {
+          out.seconds = s;
+          out.variant = v;
+          out.tuning = TuningChoice{.sg_size = sg, .large_grf = grf, .fast_math = true};
+        }
+      }
+    }
+  }
+  const double paper = paper_seconds(p, kernel);
+  out.gain_over_paper_choice = std::isfinite(out.seconds) && out.seconds > 0.0
+                                   ? paper / out.seconds
+                                   : 1.0;
+  return out;
+}
+
+TuningReport AutoTuner::tune_platform(const PlatformModel& p) const {
+  TuningReport report;
+  report.platform = p.name;
+  for (const auto& kernel : PortabilityStudy::app_kernels()) {
+    report.kernels.push_back(tune_kernel(p, kernel));
+    report.total_seconds += report.kernels.back().seconds;
+    report.paper_total_seconds += paper_seconds(p, kernel);
+  }
+  report.overall_gain = report.total_seconds > 0.0
+                            ? report.paper_total_seconds / report.total_seconds
+                            : 1.0;
+  return report;
+}
+
+}  // namespace hacc::platform

@@ -1,0 +1,55 @@
+#pragma once
+
+// Per-kernel auto-tuning: the paper fixes one (register file, sub-group
+// size) combination per platform because "exploring the tuning of these
+// parameters for individual kernels is left to future work" (§5.2).  This
+// implements that future work: exhaustive search over the platform's legal
+// sub-group sizes, GRF modes, and communication variants, per kernel.
+
+#include <string>
+#include <vector>
+
+#include "platform/study.hpp"
+
+namespace hacc::platform {
+
+struct TunedKernel {
+  std::string kernel;
+  xsycl::CommVariant variant = xsycl::CommVariant::kSelect;
+  TuningChoice tuning;
+  double seconds = 0.0;
+  // Speedup over the paper's fixed per-platform tuning choice with the same
+  // search restricted to the paper's variant pick.
+  double gain_over_paper_choice = 1.0;
+};
+
+struct TuningReport {
+  std::string platform;
+  std::vector<TunedKernel> kernels;
+  double total_seconds = 0.0;        // sum over kernels, tuned
+  double paper_total_seconds = 0.0;  // sum with the paper's fixed tuning
+  double overall_gain = 1.0;
+};
+
+class AutoTuner {
+ public:
+  explicit AutoTuner(PortabilityStudy& study) : study_(&study) {}
+
+  // Best (variant, sg, grf) for one kernel on one platform.
+  TunedKernel tune_kernel(const PlatformModel& p, const std::string& kernel) const;
+
+  // Tunes every app kernel; reports per-kernel winners and the end-to-end
+  // gain over the paper's fixed configuration.
+  TuningReport tune_platform(const PlatformModel& p) const;
+
+ private:
+  // Seconds under an explicit (variant, sg, grf) combination.
+  double seconds_for(const PlatformModel& p, const std::string& kernel,
+                     xsycl::CommVariant v, int sg, bool grf) const;
+  // The paper's per-kernel baseline: best variant under the fixed tuning.
+  double paper_seconds(const PlatformModel& p, const std::string& kernel) const;
+
+  PortabilityStudy* study_;
+};
+
+}  // namespace hacc::platform

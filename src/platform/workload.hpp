@@ -1,0 +1,43 @@
+#pragma once
+
+// Functional workload profiling: runs the full kernel chain (plus the
+// short-range gravity kernel) on a miniature version of the paper's
+// benchmark problem and aggregates instrumented op counts per kernel.
+// These measured counts — not synthetic estimates — feed the platform cost
+// models, so every variant's communication/atomic behaviour is real.
+
+#include <map>
+#include <string>
+
+#include "xsycl/comm_variant.hpp"
+#include "xsycl/op_counters.hpp"
+
+namespace hacc::platform {
+
+struct WorkloadOptions {
+  int n_side = 8;          // gas particles per side
+  double jitter = 0.25;
+  double vel_amp = 0.4;
+  std::uint64_t seed = 2023;
+  int sg_per_wg = 4;
+};
+
+// Kernel name (paper timer name) -> aggregated op counters.
+using KernelProfiles = std::map<std::string, xsycl::OpCounters>;
+
+KernelProfiles collect_profiles(xsycl::CommVariant variant, int sg_size,
+                                const WorkloadOptions& opt = {});
+
+// Caches profiles across (variant, sg_size) pairs; collection is lazy.
+class ProfileCache {
+ public:
+  explicit ProfileCache(const WorkloadOptions& opt = {}) : opt_(opt) {}
+
+  const KernelProfiles& get(xsycl::CommVariant variant, int sg_size);
+
+ private:
+  WorkloadOptions opt_;
+  std::map<std::pair<xsycl::CommVariant, int>, KernelProfiles> cache_;
+};
+
+}  // namespace hacc::platform

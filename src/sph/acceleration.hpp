@@ -1,0 +1,21 @@
+#pragma once
+
+// Acceleration kernel ("upBarAc"/"upBarAcF"): calculates the momentum
+// derivative (§5).  Pair-wise antisymmetric CRK pressure + artificial-
+// viscosity forces; additionally tracks the maximum signal velocity with a
+// floating-point atomic fetch_max — the atomic the paper calls out as
+// natively supported in SYCL but CAS-emulated on NVIDIA hardware (§5.1).
+
+#include "sph/context.hpp"
+
+namespace hacc::sph {
+
+inline constexpr double kAccelerationFlops = 320.0;
+
+xsycl::LaunchStats run_acceleration(xsycl::Queue& q, core::ParticleSet& p,
+                                    const tree::RcbTree& tree,
+                                    std::span<const tree::LeafPair> pairs,
+                                    const HydroOptions& opt,
+                                    const std::string& timer_name = "upBarAc");
+
+}  // namespace hacc::sph

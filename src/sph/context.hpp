@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared launch context for the five hot-spot kernels.  Mirrors CRK-HACC's
+// kernel launch abstraction (§4.2): kernels are function objects submitted
+// through a queue, with per-launch sub-group size and variant selection.
+
+#include <span>
+#include <string>
+
+#include "core/particles.hpp"
+#include "sph/half_warp.hpp"
+#include "sph/physics.hpp"
+#include "tree/rcb.hpp"
+#include "xsycl/queue.hpp"
+
+namespace hacc::sph {
+
+struct HydroOptions {
+  float box = 1.0f;
+  ViscosityParams<float> visc;
+  xsycl::CommVariant variant = xsycl::CommVariant::kSelect;
+  xsycl::LaunchConfig launch;
+};
+
+template <typename Traits>
+xsycl::LaunchStats launch_pairs(xsycl::Queue& q, const std::string& name, Traits traits,
+                                const tree::RcbTree& tree,
+                                std::span<const tree::LeafPair> pairs,
+                                const HydroOptions& opt) {
+  PairInteractionKernel<Traits> kernel(name, std::move(traits), tree, pairs.data(),
+                                       pairs.size(), opt.variant);
+  return q.submit(kernel, pairs.size(), opt.launch);
+}
+
+template <typename Body>
+xsycl::LaunchStats launch_particles(xsycl::Queue& q, const std::string& name,
+                                    std::size_t n, Body body, const HydroOptions& opt) {
+  ForEachParticleKernel<Body> kernel(name, n, std::move(body));
+  return q.submit(kernel, subgroups_for(n, opt.launch.sub_group_size), opt.launch);
+}
+
+}  // namespace hacc::sph

@@ -1,0 +1,20 @@
+#pragma once
+
+// Corrections kernel ("upCor"): computes the reproducing-kernel coefficients
+// of the higher-order SPH solver (§5).  Accumulates the CRK moments and
+// their gradients over neighbors, then solves per particle for A, B, ∇A, ∇B.
+// The 40-float accumulator makes this the most register-hungry kernel.
+
+#include "sph/context.hpp"
+
+namespace hacc::sph {
+
+inline constexpr double kCorrectionsFlops = 220.0;
+
+xsycl::LaunchStats run_corrections(xsycl::Queue& q, core::ParticleSet& p,
+                                   const tree::RcbTree& tree,
+                                   std::span<const tree::LeafPair> pairs,
+                                   const HydroOptions& opt,
+                                   const std::string& timer_name = "upCor");
+
+}  // namespace hacc::sph

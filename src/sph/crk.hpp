@@ -1,0 +1,114 @@
+#pragma once
+
+// Conservative Reproducing Kernel machinery (Frontiere, Raskin & Owen 2017).
+// The linear-order CRK interpolant replaces W_ij with
+//     WR_ij = A_i (1 + B_i · x_ij) W_ij,          x_ij = x_i - x_j,
+// whose coefficients are solved from the local moments so that constant and
+// linear fields are reproduced exactly.  The corrected gradient additionally
+// needs ∇A and ∇B, which follow from the moment gradients.
+
+#include "sph/kernel.hpp"
+#include "util/vec3.hpp"
+
+namespace hacc::sph {
+
+// CRK coefficients for one particle.
+template <typename Real>
+struct CrkCoeffs {
+  Real A{1};
+  util::Vec3<Real> B{};
+  util::Vec3<Real> dA{};
+  // dB[row][col] = ∂_col B_row.
+  Real dB[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+};
+
+// Local moments accumulated over neighbors (incl. self):
+//   m0 = Σ V_j W_ij, m1 = Σ V_j x_ij W_ij, m2 = Σ V_j x_ij⊗x_ij W_ij,
+// plus their gradients with respect to x_i.
+template <typename Real>
+struct CrkMoments {
+  Real m0{};
+  util::Vec3<Real> m1{};
+  util::Sym3<Real> m2{};
+  util::Vec3<Real> dm0{};
+  Real dm1[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};  // [alpha][gamma] = ∂γ m1_α
+  Real dm2[6][3] = {};  // [sym comp][gamma]; comps ordered xx,xy,xz,yy,yz,zz
+
+  // Adds one neighbor's contribution.  vj: neighbor volume; xij = x_i - x_j.
+  void accumulate(Real vj, const util::Vec3<Real>& xij, Real w,
+                  const util::Vec3<Real>& gw) {
+    m0 += vj * w;
+    m1 += xij * (vj * w);
+    m2 += util::Sym3<Real>::outer(xij) * (vj * w);
+    dm0 += gw * vj;
+    for (int g = 0; g < 3; ++g) {
+      for (int a = 0; a < 3; ++a) {
+        dm1[a][g] += vj * ((a == g ? w : Real(0)) + xij[a] * gw[g]);
+      }
+      // Symmetric components: (0,0)(0,1)(0,2)(1,1)(1,2)(2,2).
+      constexpr int rows[6] = {0, 0, 0, 1, 1, 2};
+      constexpr int cols[6] = {0, 1, 2, 1, 2, 2};
+      for (int c = 0; c < 6; ++c) {
+        const int a = rows[c], b = cols[c];
+        dm2[c][g] += vj * ((a == g ? xij[b] * w : Real(0)) +
+                           (b == g ? xij[a] * w : Real(0)) + xij[a] * xij[b] * gw[g]);
+      }
+    }
+  }
+};
+
+// Solves the linear CRK system.  Falls back to the zeroth-order correction
+// (A = 1/m0, B = 0) when the second moment is numerically singular, which
+// happens for isolated or degenerate neighborhoods.
+template <typename Real>
+inline CrkCoeffs<Real> solve_crk(const CrkMoments<Real>& m) {
+  CrkCoeffs<Real> c;
+  util::Sym3<Real> m2inv;
+  const bool ok = m.m2.inverse(m2inv);
+  if (!ok || m.m0 <= Real(0)) {
+    if (m.m0 > Real(0)) {
+      c.A = Real(1) / m.m0;
+      const Real a2 = c.A * c.A;
+      c.dA = m.dm0 * (-a2);
+    }
+    return c;
+  }
+
+  c.B = -(m2inv * m.m1);
+  const Real q = m.m0 + dot(c.B, m.m1);
+  if (q == Real(0)) return c;
+  c.A = Real(1) / q;
+
+  // ∂γB = -m2^{-1} (∂γ m1 + (∂γ m2) B); ∂γA = -A² (∂γ m0 + ∂γB·m1 + B·∂γ m1).
+  for (int g = 0; g < 3; ++g) {
+    const util::Vec3<Real> dm1g{m.dm1[0][g], m.dm1[1][g], m.dm1[2][g]};
+    const util::Sym3<Real> dm2g{m.dm2[0][g], m.dm2[1][g], m.dm2[2][g],
+                                m.dm2[3][g], m.dm2[4][g], m.dm2[5][g]};
+    const util::Vec3<Real> rhs = dm1g + dm2g * c.B;
+    const util::Vec3<Real> dBg = -(m2inv * rhs);
+    for (int a = 0; a < 3; ++a) c.dB[a][g] = dBg[a];
+    c.dA[g] = -c.A * c.A * (m.dm0[g] + dot(dBg, m.m1) + dot(c.B, dm1g));
+  }
+  return c;
+}
+
+// Corrected kernel value WR_ij.
+template <typename Real>
+inline Real crk_w(const CrkCoeffs<Real>& c, const util::Vec3<Real>& xij, Real w) {
+  return c.A * (Real(1) + dot(c.B, xij)) * w;
+}
+
+// Corrected kernel gradient ∇_i WR_ij given raw W and ∇W values.
+template <typename Real>
+inline util::Vec3<Real> crk_grad(const CrkCoeffs<Real>& c, const util::Vec3<Real>& xij,
+                                 Real w, const util::Vec3<Real>& gw) {
+  const Real lin = Real(1) + dot(c.B, xij);
+  util::Vec3<Real> out;
+  for (int g = 0; g < 3; ++g) {
+    const util::Vec3<Real> dBg{c.dB[0][g], c.dB[1][g], c.dB[2][g]};
+    out[g] = (c.dA[g] * lin + c.A * (dot(dBg, xij) + c.B[g])) * w + c.A * lin * gw[g];
+  }
+  return out;
+}
+
+}  // namespace hacc::sph

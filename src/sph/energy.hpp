@@ -1,0 +1,19 @@
+#pragma once
+
+// Energy kernel ("upBarDu"/"upBarDuF"): solves the derivative of the
+// internal energy (§5) with the compatible pairwise-work partition, so that
+// kinetic + internal energy is conserved exactly in the flat-space limit.
+
+#include "sph/context.hpp"
+
+namespace hacc::sph {
+
+inline constexpr double kEnergyFlops = 240.0;
+
+xsycl::LaunchStats run_energy(xsycl::Queue& q, core::ParticleSet& p,
+                              const tree::RcbTree& tree,
+                              std::span<const tree::LeafPair> pairs,
+                              const HydroOptions& opt,
+                              const std::string& timer_name = "upBarDu");
+
+}  // namespace hacc::sph

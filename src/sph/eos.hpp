@@ -1,0 +1,23 @@
+#pragma once
+
+// Ideal-gas equation of state for the adiabatic ("non-radiative") mode the
+// paper benchmarks (§3.1): no sub-grid physics, gamma = 5/3.
+
+#include <cmath>
+
+namespace hacc::sph {
+
+inline constexpr double kGamma = 5.0 / 3.0;
+
+template <typename Real>
+inline Real eos_pressure(Real rho, Real u, Real gamma = Real(kGamma)) {
+  return (gamma - Real(1)) * rho * u;
+}
+
+template <typename Real>
+inline Real eos_sound_speed(Real rho, Real p, Real gamma = Real(kGamma)) {
+  if (rho <= Real(0) || p <= Real(0)) return Real(0);
+  return std::sqrt(gamma * p / rho);
+}
+
+}  // namespace hacc::sph

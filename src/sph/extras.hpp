@@ -1,0 +1,19 @@
+#pragma once
+
+// Extras kernel ("upBarEx"): evaluates the CRK density interpolant and the
+// corrected velocity gradient (the "density and state gradients" of §5),
+// then applies the ideal-gas EOS per particle.
+
+#include "sph/context.hpp"
+
+namespace hacc::sph {
+
+inline constexpr double kExtrasFlops = 190.0;
+
+xsycl::LaunchStats run_extras(xsycl::Queue& q, core::ParticleSet& p,
+                              const tree::RcbTree& tree,
+                              std::span<const tree::LeafPair> pairs,
+                              const HydroOptions& opt,
+                              const std::string& timer_name = "upBarEx");
+
+}  // namespace hacc::sph

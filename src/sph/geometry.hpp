@@ -1,0 +1,22 @@
+#pragma once
+
+// Geometry kernel ("upGeo"): measures the volumes of gas particles (§5).
+// Accumulates m0_i = Σ_j W(r_ij, h_i) over neighbors (plus the self term)
+// and sets V_i = 1 / m0_i.
+
+#include "sph/context.hpp"
+
+namespace hacc::sph {
+
+// Per-interaction cost estimate for the platform model (flops).
+inline constexpr double kGeometryFlops = 24.0;
+
+// Runs the pair accumulation and the per-particle finalize; returns the
+// stats of the pair launch (the dominant one).
+xsycl::LaunchStats run_geometry(xsycl::Queue& q, core::ParticleSet& p,
+                                const tree::RcbTree& tree,
+                                std::span<const tree::LeafPair> pairs,
+                                const HydroOptions& opt,
+                                const std::string& timer_name = "upGeo");
+
+}  // namespace hacc::sph

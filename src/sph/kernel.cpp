@@ -1,0 +1,18 @@
+#include "sph/kernel.hpp"
+
+namespace hacc::sph {
+
+double kernel_normalization(int n_samples) {
+  // Radial quadrature of 4*pi*r^2*W(r,1) over [0, kSupport] (midpoint rule).
+  const double h = 1.0;
+  const double rmax = kSupport * h;
+  const double dr = rmax / n_samples;
+  double total = 0.0;
+  for (int i = 0; i < n_samples; ++i) {
+    const double r = (i + 0.5) * dr;
+    total += 4.0 * M_PI * r * r * kernel_w(r, h) * dr;
+  }
+  return total;
+}
+
+}  // namespace hacc::sph

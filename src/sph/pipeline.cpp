@@ -1,0 +1,38 @@
+#include "sph/pipeline.hpp"
+
+#include <algorithm>
+
+namespace hacc::sph {
+
+Pipeline build_pipeline(const core::ParticleSet& p, const PipelineOptions& opt) {
+  Pipeline pipe;
+  float h_max = 0.f;
+  for (const float h : p.h) h_max = std::max(h_max, h);
+  pipe.cutoff = kSupport * static_cast<double>(h_max);
+  pipe.tree = std::make_unique<tree::RcbTree>(p.positions(), opt.hydro.box,
+                                              opt.leaf_size);
+  pipe.pairs = pipe.tree->interacting_pairs(pipe.cutoff);
+  return pipe;
+}
+
+void run_hydro_chain(xsycl::Queue& q, core::ParticleSet& p, const Pipeline& pipe,
+                     const PipelineOptions& opt) {
+  const auto& hydro = opt.hydro;
+  run_geometry(q, p, *pipe.tree, pipe.pairs, hydro);
+  run_corrections(q, p, *pipe.tree, pipe.pairs, hydro);
+  run_extras(q, p, *pipe.tree, pipe.pairs, hydro);
+  run_acceleration(q, p, *pipe.tree, pipe.pairs, hydro, "upBarAc");
+  run_energy(q, p, *pipe.tree, pipe.pairs, hydro, "upBarDu");
+  if (opt.corrector_pass) {
+    run_acceleration(q, p, *pipe.tree, pipe.pairs, hydro, "upBarAcF");
+    run_energy(q, p, *pipe.tree, pipe.pairs, hydro, "upBarDuF");
+  }
+}
+
+void run_hydro_pipeline(xsycl::Queue& q, core::ParticleSet& p,
+                        const PipelineOptions& opt) {
+  const Pipeline pipe = build_pipeline(p, opt);
+  run_hydro_chain(q, p, pipe, opt);
+}
+
+}  // namespace hacc::sph

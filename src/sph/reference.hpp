@@ -1,0 +1,33 @@
+#pragma once
+
+// Scalar double-precision reference for the five hot-spot kernels: the same
+// templated physics evaluated with brute-force neighbor loops, used by the
+// test suite to validate every communication variant of the xsycl kernels.
+
+#include <array>
+#include <vector>
+
+#include "core/particles.hpp"
+#include "sph/physics.hpp"
+
+namespace hacc::sph {
+
+struct ReferenceResults {
+  std::vector<double> m0;    // Geometry sums (incl. self)
+  std::vector<double> V;     // volumes
+  std::vector<CrkCoeffs<double>> crk;
+  std::vector<double> rho;
+  std::vector<std::array<double, 9>> dvel;
+  std::vector<double> P, cs;
+  std::vector<util::Vec3d> accel;
+  std::vector<double> vsig;
+  std::vector<double> du;
+};
+
+// Runs the full Geometry -> Corrections -> Extras -> Acceleration -> Energy
+// chain in double precision.  Input particle fields (x, v, mass, h, u) are
+// read from `p`; derived fields in `p` are ignored.
+ReferenceResults reference_hydro(const core::ParticleSet& p, double box,
+                                 const ViscosityParams<double>& visc = {});
+
+}  // namespace hacc::sph

@@ -1,0 +1,146 @@
+#include "tree/rcb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hacc::tree {
+
+using util::Vec3d;
+
+RcbTree::RcbTree(std::span<const Vec3d> pos, double box, int leaf_size)
+    : box_(box), leaf_size_(std::max(1, leaf_size)) {
+  order_.resize(pos.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  slot_leaf_.resize(pos.size());
+  if (!pos.empty()) {
+    root_ = build(0, static_cast<std::int32_t>(pos.size()), pos);
+  }
+}
+
+std::int32_t RcbTree::build(std::int32_t begin, std::int32_t end,
+                            std::span<const Vec3d> pos) {
+  Node node;
+  node.lo = Vec3d(std::numeric_limits<double>::max());
+  node.hi = Vec3d(std::numeric_limits<double>::lowest());
+  for (std::int32_t k = begin; k < end; ++k) {
+    const Vec3d& p = pos[order_[k]];
+    for (int a = 0; a < 3; ++a) {
+      node.lo[a] = std::min(node.lo[a], p[a]);
+      node.hi[a] = std::max(node.hi[a], p[a]);
+    }
+  }
+
+  if (end - begin <= leaf_size_) {
+    Leaf leaf;
+    leaf.begin = begin;
+    leaf.end = end;
+    leaf.lo = node.lo;
+    leaf.hi = node.hi;
+    node.leaf = static_cast<std::int32_t>(leaves_.size());
+    leaves_.push_back(leaf);
+    for (std::int32_t k = begin; k < end; ++k) slot_leaf_[k] = node.leaf;
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size()) - 1;
+  }
+
+  // Split along the longest axis at the median slot.
+  int axis = 0;
+  double extent = node.hi[0] - node.lo[0];
+  for (int a = 1; a < 3; ++a) {
+    if (node.hi[a] - node.lo[a] > extent) {
+      extent = node.hi[a] - node.lo[a];
+      axis = a;
+    }
+  }
+  const std::int32_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                   [&](std::int32_t i, std::int32_t j) { return pos[i][axis] < pos[j][axis]; });
+
+  const std::int32_t self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);  // placeholder; children filled below
+  const std::int32_t left = build(begin, mid, pos);
+  const std::int32_t right = build(mid, end, pos);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double RcbTree::node_distance(const Node& a, const Node& b) const {
+  double d2 = 0.0;
+  for (int axis = 0; axis < 3; ++axis) {
+    // Minimum-image gap between intervals [a.lo, a.hi] and [b.lo, b.hi].
+    double best = std::numeric_limits<double>::max();
+    for (const double shift : {-box_, 0.0, box_}) {
+      const double blo = b.lo[axis] + shift;
+      const double bhi = b.hi[axis] + shift;
+      double gap = 0.0;
+      if (blo > a.hi[axis]) {
+        gap = blo - a.hi[axis];
+      } else if (a.lo[axis] > bhi) {
+        gap = a.lo[axis] - bhi;
+      }
+      best = std::min(best, gap);
+    }
+    d2 += best * best;
+  }
+  return std::sqrt(d2);
+}
+
+double RcbTree::leaf_distance(std::int32_t a, std::int32_t b) const {
+  Node na, nb;
+  na.lo = leaves_[a].lo;
+  na.hi = leaves_[a].hi;
+  nb.lo = leaves_[b].lo;
+  nb.hi = leaves_[b].hi;
+  return node_distance(na, nb);
+}
+
+void RcbTree::dual_walk(std::int32_t ia, std::int32_t ib, double cutoff,
+                        std::vector<LeafPair>& out) const {
+  const Node& a = nodes_[ia];
+  const Node& b = nodes_[ib];
+  if (node_distance(a, b) > cutoff) return;
+  const bool a_is_leaf = a.leaf >= 0;
+  const bool b_is_leaf = b.leaf >= 0;
+  if (a_is_leaf && b_is_leaf) {
+    if (a.leaf <= b.leaf) out.push_back({a.leaf, b.leaf});
+    return;
+  }
+  // Descend the larger (non-leaf) node; for self pairs descend both sides.
+  if (ia == ib) {
+    dual_walk(a.left, a.left, cutoff, out);
+    dual_walk(a.right, a.right, cutoff, out);
+    dual_walk(a.left, a.right, cutoff, out);
+    return;
+  }
+  const auto span_of = [&](const Node& n) {
+    return (n.hi.x - n.lo.x) + (n.hi.y - n.lo.y) + (n.hi.z - n.lo.z);
+  };
+  if (b_is_leaf || (!a_is_leaf && span_of(a) >= span_of(b))) {
+    dual_walk(a.left, ib, cutoff, out);
+    dual_walk(a.right, ib, cutoff, out);
+  } else {
+    dual_walk(ia, b.left, cutoff, out);
+    dual_walk(ia, b.right, cutoff, out);
+  }
+}
+
+std::vector<LeafPair> RcbTree::interacting_pairs(double cutoff) const {
+  std::vector<LeafPair> pairs;
+  if (root_ < 0) return pairs;
+  dual_walk(root_, root_, cutoff, pairs);
+  // The walk can produce (a,b) duplicates when siblings interleave; dedupe.
+  std::sort(pairs.begin(), pairs.end(), [](const LeafPair& x, const LeafPair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                          [](const LeafPair& x, const LeafPair& y) {
+                            return x.a == y.a && x.b == y.b;
+                          }),
+              pairs.end());
+  return pairs;
+}
+
+}  // namespace hacc::tree

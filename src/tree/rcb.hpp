@@ -1,0 +1,78 @@
+#pragma once
+
+// Recursive Coordinate Bisection tree (HACC's data structure for the
+// short-range solvers, §3.1).  Particles are recursively split along the
+// longest axis at the median until leaves hold at most leaf_size particles;
+// the resulting permutation groups each leaf contiguously, which is what
+// the half-warp algorithm's leaf-pair tiles consume.
+//
+// Periodic boundaries are handled with minimum-image distances between
+// leaf bounding boxes when enumerating interacting leaf pairs.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace hacc::tree {
+
+struct Leaf {
+  std::int32_t begin = 0;  // first index into the tree's particle order
+  std::int32_t end = 0;    // one past the last index
+  util::Vec3d lo;          // axis-aligned bounding box
+  util::Vec3d hi;
+
+  std::int32_t count() const { return end - begin; }
+};
+
+struct LeafPair {
+  std::int32_t a = 0;  // leaf indices; a <= b, with a == b for self pairs
+  std::int32_t b = 0;
+};
+
+class RcbTree {
+ public:
+  // Builds from positions in [0, box)^3.  leaf_size bounds leaf occupancy.
+  RcbTree(std::span<const util::Vec3d> pos, double box, int leaf_size);
+
+  double box() const { return box_; }
+  int leaf_size() const { return leaf_size_; }
+
+  // Permutation: order()[k] is the original particle index at tree slot k.
+  const std::vector<std::int32_t>& order() const { return order_; }
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+
+  // Leaf index containing tree slot k.
+  std::int32_t leaf_of_slot(std::int32_t k) const { return slot_leaf_[k]; }
+
+  // All leaf pairs whose bounding boxes come within `cutoff` of each other
+  // under the minimum-image convention (self pairs included).
+  std::vector<LeafPair> interacting_pairs(double cutoff) const;
+
+  // Minimum-image distance between two leaf AABBs (0 when overlapping).
+  double leaf_distance(std::int32_t a, std::int32_t b) const;
+
+ private:
+  struct Node {
+    util::Vec3d lo, hi;
+    std::int32_t left = -1, right = -1;  // children; -1 for leaf nodes
+    std::int32_t leaf = -1;              // leaf index when a leaf node
+  };
+
+  std::int32_t build(std::int32_t begin, std::int32_t end,
+                     std::span<const util::Vec3d> pos);
+  void dual_walk(std::int32_t na, std::int32_t nb, double cutoff,
+                 std::vector<LeafPair>& out) const;
+  double node_distance(const Node& a, const Node& b) const;
+
+  double box_;
+  int leaf_size_;
+  std::vector<std::int32_t> order_;
+  std::vector<Leaf> leaves_;
+  std::vector<std::int32_t> slot_leaf_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace hacc::tree

@@ -1,0 +1,99 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hacc::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+bool Config::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      error_ = "line " + std::to_string(lineno) + ": expected key = value";
+      return false;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      error_ = "line " + std::to_string(lineno) + ": empty key";
+      return false;
+    }
+    values_[key] = value;
+  }
+  return true;
+}
+
+bool Config::parse_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    error_ = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::apply_overrides(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    values_[trim(arg.substr(0, eq))] = trim(arg.substr(eq + 1));
+  }
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  return fallback;
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  if (auto it = values_.find(key); it != values_.end()) {
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end != it->second.c_str()) return v;
+  }
+  return fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  if (auto it = values_.find(key); it != values_.end()) {
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str()) return v;
+  }
+  return fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (auto it = values_.find(key); it != values_.end()) {
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  }
+  return fallback;
+}
+
+}  // namespace hacc::util

@@ -1,0 +1,41 @@
+#pragma once
+
+// Minimal key = value configuration parser used by the examples and the
+// standalone-kernel driver (paper §7.2).  Supports comments (#), blank
+// lines, strings, integers, and floating-point values.
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hacc::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses "key = value" lines; returns false and sets error on bad syntax.
+  bool parse(const std::string& text);
+  bool parse_file(const std::string& path);
+
+  // Command-line overrides of the form key=value (argv-style).
+  void apply_overrides(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  const std::string& error() const { return error_; }
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace hacc::util

@@ -1,0 +1,55 @@
+#pragma once
+
+// Counter-based pseudo-random numbers for reproducible initial conditions.
+// SplitMix64 is used as a stateless hash of (seed, counter) so that fields
+// are identical regardless of the number of threads generating them.
+
+#include <cstdint>
+
+namespace hacc::util {
+
+// SplitMix64 finalizer: a high-quality 64-bit mix.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class CounterRng {
+ public:
+  explicit constexpr CounterRng(std::uint64_t seed) : seed_(splitmix64(seed ^ 0xda3e39cb94b95bdbull)) {}
+
+  // Uniform in [0, 1), a pure function of (seed, counter).
+  double uniform(std::uint64_t counter) const {
+    const std::uint64_t bits = splitmix64(seed_ + 0x9e3779b97f4a7c15ull * (counter + 1));
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Box-Muller on counters (2*i, 2*i+1).
+  double normal(std::uint64_t counter) const;
+
+  std::uint64_t raw(std::uint64_t counter) const {
+    return splitmix64(seed_ + 0x9e3779b97f4a7c15ull * (counter + 1));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace hacc::util
+
+#include <cmath>
+
+namespace hacc::util {
+
+inline double CounterRng::normal(std::uint64_t counter) const {
+  // Each counter consumes two uniforms at (2c, 2c+1); returns the cosine leg.
+  const double u1 = uniform(2 * counter);
+  const double u2 = uniform(2 * counter + 1);
+  constexpr double kTiny = 1e-300;
+  const double r = std::sqrt(-2.0 * std::log(u1 + kTiny));
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace hacc::util

@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace hacc::util {
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (unsigned i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen_seq); });
+      if (stop_) return;
+      job = job_;
+      seen_seq = job_seq_;
+      // Register as active before releasing the lock so the submitter cannot
+      // destroy the job while this thread still holds a pointer to it.
+      ++job->active;
+    }
+    run_chunks(*job);
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    std::int64_t begin;
+    {
+      std::lock_guard lock(mu_);
+      if (job.next >= job.n) break;
+      begin = job.next;
+      job.next += job.chunk;
+    }
+    const std::int64_t end = std::min(begin + job.chunk, job.n);
+    (*job.body)(begin, end);
+    {
+      std::lock_guard lock(mu_);
+      --job.remaining;
+    }
+  }
+  std::lock_guard lock(mu_);
+  if (--job.active == 0 && job.remaining == 0) cv_done_.notify_all();
+}
+
+void ThreadPool::parallel_for_chunks(std::int64_t n, std::int64_t chunk,
+                                     const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  chunk = std::max<std::int64_t>(1, chunk);
+  if (n <= chunk || workers_.size() == 1) {
+    for (std::int64_t b = 0; b < n; b += chunk) body(b, std::min(b + chunk, n));
+    return;
+  }
+  Job job;
+  job.n = n;
+  job.chunk = chunk;
+  job.body = &body;
+  job.next = 0;
+  job.remaining = (n + chunk - 1) / chunk;
+  job.active = 1;  // the submitting thread participates too
+  {
+    std::lock_guard lock(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  cv_work_.notify_all();
+  run_chunks(job);
+  {
+    std::unique_lock lock(mu_);
+    // Wait until every chunk completed AND every worker left run_chunks;
+    // only then is it safe to destroy the stack-allocated job.
+    cv_done_.wait(lock, [&] { return job.remaining == 0 && job.active == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body) {
+  // Pick a chunk size that gives each worker several chunks for load balance.
+  const std::int64_t target_chunks = static_cast<std::int64_t>(size()) * 8;
+  const std::int64_t chunk = std::max<std::int64_t>(1, n / std::max<std::int64_t>(1, target_chunks));
+  const std::function<void(std::int64_t, std::int64_t)> wrapped =
+      [&body](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) body(i);
+      };
+  parallel_for_chunks(n, chunk, wrapped);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("HACC_NUM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
+  return pool;
+}
+
+}  // namespace hacc::util

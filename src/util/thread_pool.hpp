@@ -1,0 +1,60 @@
+#pragma once
+
+// A fixed-size worker pool with a blocking parallel_for, standing in for the
+// per-rank device: work-groups of an xsycl launch are distributed over these
+// workers the way a GPU distributes work-groups over compute units.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hacc::util {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 picks the hardware concurrency.
+  explicit ThreadPool(unsigned n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Runs body(i) for i in [0, n), blocking until all iterations finish.
+  // Iterations are chunked dynamically; body must be thread-safe.
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& body);
+
+  // Chunked variant: body(begin, end) over disjoint ranges covering [0, n).
+  void parallel_for_chunks(std::int64_t n, std::int64_t chunk,
+                           const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  // Process-wide pool, sized from HACC_NUM_THREADS or hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    std::int64_t n = 0;
+    std::int64_t chunk = 1;
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::int64_t next = 0;       // next chunk start to claim
+    std::int64_t remaining = 0;  // chunks not yet completed
+    int active = 0;              // threads currently inside run_chunks
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hacc::util

@@ -1,0 +1,40 @@
+#include "util/timer.hpp"
+
+namespace hacc::util {
+
+void TimerRegistry::add(const std::string& name, double dt) {
+  std::lock_guard lock(mu_);
+  auto& e = timers_[name];
+  e.seconds += dt;
+  e.calls += 1;
+}
+
+TimerRegistry::Entry TimerRegistry::get(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  if (auto it = timers_.find(name); it != timers_.end()) return it->second;
+  return {};
+}
+
+double TimerRegistry::total(const std::vector<std::string>& names) const {
+  double sum = 0.0;
+  for (const auto& n : names) sum += get(n).seconds;
+  return sum;
+}
+
+std::vector<std::pair<std::string, TimerRegistry::Entry>> TimerRegistry::entries() const {
+  std::lock_guard lock(mu_);
+  return {timers_.begin(), timers_.end()};
+}
+
+void TimerRegistry::reset() {
+  std::lock_guard lock(mu_);
+  timers_.clear();
+}
+
+double wtime() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+}  // namespace hacc::util

@@ -1,0 +1,67 @@
+#pragma once
+
+// Named accumulating wall-clock timers, modelled on CRK-HACC's internal
+// MPI_Wtime()-based timers (paper §3.4.4).  Each named timer accumulates
+// total seconds and call counts; a scoped guard brackets an operation.
+// The solver uses the same timer names as the paper's figures:
+//   upGeo, upCor, upBarEx, upBarAc, upBarAcF, upBarDu, upBarDuF.
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hacc::util {
+
+class TimerRegistry {
+ public:
+  struct Entry {
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  // Adds dt seconds to the named timer.
+  void add(const std::string& name, double dt);
+
+  // Returns the accumulated entry (zero entry when never recorded).
+  Entry get(const std::string& name) const;
+
+  double seconds(const std::string& name) const { return get(name).seconds; }
+
+  // Total over all timers whose name matches any of the given names.
+  double total(const std::vector<std::string>& names) const;
+
+  // All entries, sorted by name.
+  std::vector<std::pair<std::string, Entry>> entries() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> timers_;
+};
+
+// RAII guard that brackets an offloaded operation, like HACC's timer macros.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& reg, std::string name)
+      : reg_(reg), name_(std::move(name)), start_(clock::now()) {}
+  ~ScopedTimer() {
+    const auto dt = std::chrono::duration<double>(clock::now() - start_).count();
+    reg_.add(name_, dt);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  TimerRegistry& reg_;
+  std::string name_;
+  clock::time_point start_;
+};
+
+// Monotonic seconds since an arbitrary epoch (MPI_Wtime stand-in).
+double wtime();
+
+}  // namespace hacc::util

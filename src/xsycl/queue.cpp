@@ -1,0 +1,65 @@
+#include "xsycl/queue.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace hacc::xsycl {
+
+LaunchStats Queue::submit_impl(const KernelFn& fn, const std::string& name,
+                               std::size_t local_bytes_per_sg,
+                               std::uint64_t n_sub_groups, const LaunchConfig& cfg) {
+  LaunchStats stats;
+  stats.kernel = name;
+  stats.sub_group_size = cfg.sub_group_size;
+  stats.n_sub_groups = n_sub_groups;
+
+  const int sg_per_wg = std::max(1, cfg.sg_per_wg);
+  const std::uint64_t n_wg = (n_sub_groups + sg_per_wg - 1) / sg_per_wg;
+
+  OpCounters total;
+  std::mutex merge_mu;
+
+  const double t0 = util::wtime();
+  pool_->parallel_for_chunks(
+      static_cast<std::int64_t>(n_wg), /*chunk=*/4,
+      [&](std::int64_t wg_begin, std::int64_t wg_end) {
+        // One local arena + counter block per worker chunk; arenas are
+        // per-work-group on hardware, and sub-groups get disjoint slices.
+        OpCounters local_counters;
+        std::vector<std::byte> arena(local_bytes_per_sg * sg_per_wg);
+        for (std::int64_t wg = wg_begin; wg < wg_end; ++wg) {
+          ++local_counters.work_groups;
+          for (int s = 0; s < sg_per_wg; ++s) {
+            const std::uint64_t sg_index =
+                static_cast<std::uint64_t>(wg) * sg_per_wg + s;
+            if (sg_index >= n_sub_groups) break;
+            ++local_counters.sub_groups;
+            local_counters.lanes_launched += cfg.sub_group_size;
+            std::span<std::byte> slice(arena.data() + s * local_bytes_per_sg,
+                                       local_bytes_per_sg);
+            SubGroup sg(cfg.sub_group_size, sg_index, slice, local_counters);
+            fn(sg);
+          }
+        }
+        std::lock_guard lock(merge_mu);
+        total.merge(local_counters);
+      });
+  stats.seconds = util::wtime() - t0;
+  stats.ops = total;
+
+  if (timers_ != nullptr) timers_->add(name, stats.seconds);
+  {
+    std::lock_guard lock(mu_);
+    history_.push_back(stats);
+  }
+  return stats;
+}
+
+std::vector<std::pair<std::string, OpCounters>> Queue::aggregate_by_kernel() const {
+  std::map<std::string, OpCounters> agg;
+  for (const auto& s : history_) agg[s.kernel].merge(s.ops);
+  return {agg.begin(), agg.end()};
+}
+
+}  // namespace hacc::xsycl

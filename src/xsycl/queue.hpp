@@ -1,0 +1,85 @@
+#pragma once
+
+// Queue: the launch machinery.  A launch spans N sub-groups; sub-groups are
+// packed into work-groups, work-groups are distributed across the thread
+// pool (standing in for a GPU's compute units).  Kernels are C++ function
+// objects invoked once per sub-group — the functor style the paper's
+// migration pipeline produces (Fig. 1c) so kernels can be referenced by
+// name through CRK-HACC's launch wrapper (§4.2).
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "xsycl/sub_group.hpp"
+
+namespace hacc::xsycl {
+
+// Every xsycl kernel satisfies this concept.  name() keys the timer registry
+// and the by-name launch registry; local_bytes_per_sg sizes the work-group
+// local arena (paper §5.3.1).
+template <typename K>
+concept SubGroupKernel = requires(const K k, SubGroup& sg) {
+  { k(sg) } -> std::same_as<void>;
+  { k.name() } -> std::convertible_to<std::string>;
+  { k.local_bytes_per_sg(32) } -> std::convertible_to<std::size_t>;
+};
+
+struct LaunchConfig {
+  int sub_group_size = 32;  // HACC_SYCL_SG_SIZE: 16 on Aurora, 32 on Polaris, 64 on Frontier
+  int sg_per_wg = 4;        // sub-groups per work-group (block size 128 / warp 32)
+};
+
+// Per-launch record: kernel identity, configuration, instrumented op counts,
+// and measured CPU wall time.  The platform cost model consumes these.
+struct LaunchStats {
+  std::string kernel;
+  int sub_group_size = 0;
+  std::uint64_t n_sub_groups = 0;
+  OpCounters ops;
+  double seconds = 0.0;
+};
+
+class Queue {
+ public:
+  explicit Queue(util::ThreadPool& pool = util::ThreadPool::global(),
+                 util::TimerRegistry* timers = nullptr)
+      : pool_(&pool), timers_(timers) {}
+
+  // Runs kernel(sg) for every sub-group index in [0, n_sub_groups).
+  template <SubGroupKernel K>
+  LaunchStats submit(const K& kernel, std::uint64_t n_sub_groups,
+                     const LaunchConfig& cfg = {}) {
+    return submit_impl(
+        [&kernel](SubGroup& sg) { kernel(sg); }, kernel.name(),
+        kernel.local_bytes_per_sg(cfg.sub_group_size), n_sub_groups, cfg);
+  }
+
+  // History of every launch since construction / last clear.
+  const std::vector<LaunchStats>& history() const { return history_; }
+  void clear_history() { history_.clear(); }
+
+  // Aggregated op counters per kernel name over the recorded history.
+  std::vector<std::pair<std::string, OpCounters>> aggregate_by_kernel() const;
+
+  util::TimerRegistry* timers() const { return timers_; }
+
+ private:
+  using KernelFn = std::function<void(SubGroup&)>;
+
+  LaunchStats submit_impl(const KernelFn& fn, const std::string& name,
+                          std::size_t local_bytes_per_sg, std::uint64_t n_sub_groups,
+                          const LaunchConfig& cfg);
+
+  util::ThreadPool* pool_;
+  util::TimerRegistry* timers_;
+  std::mutex mu_;
+  std::vector<LaunchStats> history_;
+};
+
+}  // namespace hacc::xsycl

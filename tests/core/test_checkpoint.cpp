@@ -1,0 +1,99 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/rng.hpp"
+
+namespace hacc::core {
+namespace {
+
+ParticleSet random_particles(std::size_t n, std::uint64_t seed) {
+  ParticleSet p;
+  p.resize(n);
+  const util::CounterRng rng(seed);
+  std::uint64_t c = 0;
+  const auto fill = [&](std::vector<float>& v) {
+    for (auto& x : v) x = static_cast<float>(rng.normal(c++));
+  };
+  fill(p.x); fill(p.y); fill(p.z);
+  fill(p.vx); fill(p.vy); fill(p.vz);
+  fill(p.mass); fill(p.h); fill(p.V); fill(p.rho); fill(p.u); fill(p.P); fill(p.cs);
+  fill(p.crk); fill(p.moments); fill(p.m0);
+  fill(p.ax); fill(p.ay); fill(p.az); fill(p.du); fill(p.vsig); fill(p.dvel);
+  return p;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/crkhacc_ckpt_test.bin";
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesEverything) {
+  const auto p = random_particles(257, 5);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  ParticleSet q;
+  double box = 0.0, a = 0.0;
+  ASSERT_TRUE(read_checkpoint(path_, q, box, a));
+  EXPECT_DOUBLE_EQ(box, 25.0);
+  EXPECT_DOUBLE_EQ(a, 0.005);
+  ASSERT_EQ(q.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ASSERT_EQ(p.x[i], q.x[i]);
+    ASSERT_EQ(p.vz[i], q.vz[i]);
+    ASSERT_EQ(p.u[i], q.u[i]);
+    ASSERT_EQ(p.vsig[i], q.vsig[i]);
+  }
+  for (std::size_t i = 0; i < p.crk.size(); ++i) ASSERT_EQ(p.crk[i], q.crk[i]);
+  for (std::size_t i = 0; i < p.dvel.size(); ++i) ASSERT_EQ(p.dvel[i], q.dvel[i]);
+}
+
+TEST_F(CheckpointTest, EmptySetRoundTrips) {
+  ParticleSet p;
+  ASSERT_TRUE(write_checkpoint(path_, p, 1.0, 1.0));
+  ParticleSet q;
+  double box = 0.0, a = 0.0;
+  ASSERT_TRUE(read_checkpoint(path_, q, box, a));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST_F(CheckpointTest, MissingFileFails) {
+  ParticleSet q;
+  double box, a;
+  EXPECT_FALSE(read_checkpoint("/nonexistent/path/x.bin", q, box, a));
+}
+
+TEST_F(CheckpointTest, CorruptedMagicRejected) {
+  const auto p = random_particles(16, 6);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    const std::uint64_t bad = 0xdeadbeef;
+    f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  }
+  ParticleSet q;
+  double box, a;
+  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+}
+
+TEST_F(CheckpointTest, TruncatedFileRejected) {
+  const auto p = random_particles(64, 7);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  // Truncate to half size.
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  ParticleSet q;
+  double box, a;
+  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+}
+
+}  // namespace
+}  // namespace hacc::core

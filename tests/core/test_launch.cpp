@@ -1,0 +1,86 @@
+#include "core/launch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../sph/gas_fixture.hpp"
+#include "sph/geometry.hpp"
+#include "sph/pipeline.hpp"
+
+namespace hacc::core {
+namespace {
+
+TEST(KernelRegistry, ContainsAllPaperTimerNames) {
+  const auto& reg = KernelRegistry::instance();
+  for (const char* name :
+       {"upGeo", "upCor", "upBarEx", "upBarAc", "upBarAcF", "upBarDu", "upBarDuF"}) {
+    EXPECT_TRUE(reg.has(name)) << name;
+  }
+  EXPECT_FALSE(reg.has("upNope"));
+  EXPECT_GE(reg.names().size(), 7u);
+}
+
+TEST(KernelRegistry, UnknownKernelThrows) {
+  auto gas = sph::testing::make_gas({});
+  util::ThreadPool pool(2);
+  xsycl::Queue q(pool);
+  sph::PipelineOptions popt;
+  const auto pipe = sph::build_pipeline(gas, popt);
+  EXPECT_THROW(KernelRegistry::instance().run("bogus", q, gas, *pipe.tree, pipe.pairs,
+                                              popt.hydro),
+               std::out_of_range);
+}
+
+TEST(KernelRegistry, LaunchByNameMatchesDirectCall) {
+  sph::testing::GasOptions gopt;
+  gopt.n_side = 6;
+  gopt.jitter = 0.2;
+  const auto base = sph::testing::make_gas(gopt);
+  util::ThreadPool pool(2);
+  sph::PipelineOptions popt;
+
+  // By name through the registry (the §4.2 requirement).
+  core::ParticleSet by_name = base;
+  {
+    xsycl::Queue q(pool);
+    const auto pipe = sph::build_pipeline(by_name, popt);
+    KernelRegistry::instance().run("upGeo", q, by_name, *pipe.tree, pipe.pairs,
+                                   popt.hydro);
+  }
+  // Direct call.
+  core::ParticleSet direct = base;
+  {
+    xsycl::Queue q(pool);
+    const auto pipe = sph::build_pipeline(direct, popt);
+    sph::run_geometry(q, direct, *pipe.tree, pipe.pairs, popt.hydro);
+  }
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    ASSERT_NEAR(by_name.V[i], direct.V[i], 1e-7);
+  }
+}
+
+TEST(KernelRegistry, RegisteredRunnerRecordsTimerUnderItsName) {
+  auto gas = sph::testing::make_gas({});
+  util::ThreadPool pool(2);
+  util::TimerRegistry timers;
+  xsycl::Queue q(pool, &timers);
+  sph::PipelineOptions popt;
+  const auto pipe = sph::build_pipeline(gas, popt);
+  KernelRegistry::instance().run("upBarAcF", q, gas, *pipe.tree, pipe.pairs,
+                                 popt.hydro);
+  EXPECT_GT(timers.get("upBarAcF").calls, 0u);
+  EXPECT_EQ(timers.get("upBarAc").calls, 0u);
+}
+
+TEST(KernelRegistry, CustomRegistrationVisible) {
+  auto& reg = KernelRegistry::instance();
+  reg.register_kernel("testOnly", [](xsycl::Queue& q, ParticleSet& p,
+                                     const tree::RcbTree& tr,
+                                     std::span<const tree::LeafPair> pairs,
+                                     const sph::HydroOptions& opt) {
+    return sph::run_geometry(q, p, tr, pairs, opt, "testOnly");
+  });
+  EXPECT_TRUE(reg.has("testOnly"));
+}
+
+}  // namespace
+}  // namespace hacc::core

@@ -1,0 +1,208 @@
+// Integration tests of the full solver: the paper's benchmark scenario at
+// miniature scale — two species, Zel'dovich ICs at z=200, five KDK steps to
+// z=50 (§3.4.2-3.4.3).
+
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hacc::core {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.np_side = 10;
+  cfg.box = 25.0;
+  cfg.pm_grid = 32;
+  cfg.n_steps = 5;
+  cfg.seed = 7;
+  return cfg;
+}
+
+double measured_growth_ratio(const SimConfig& cfg, util::ThreadPool& pool) {
+  Solver solver(cfg, pool);
+  solver.initialize();
+  const auto d0 = solver.diagnostics();
+  for (int s = 0; s < cfg.n_steps; ++s) solver.step();
+  const auto d1 = solver.diagnostics();
+  return d1.max_displacement / d0.max_displacement;
+}
+
+double expected_growth_ratio(const SimConfig& cfg) {
+  const double a_i = ic::Cosmology::a_of_z(cfg.z_init);
+  const double a_f = ic::Cosmology::a_of_z(cfg.z_final);
+  return cfg.cosmo.growth(a_f) / cfg.cosmo.growth(a_i);
+}
+
+TEST(Solver, GravityOnlyTracksLinearGrowth) {
+  // The Zel'dovich consistency test: displacements must grow by
+  // D(a_final)/D(a_init) over the run (20 steps keeps integrator error small).
+  SimConfig cfg = small_config();
+  cfg.hydro = false;
+  cfg.np_side = 12;
+  cfg.n_steps = 20;
+  util::ThreadPool pool(8);
+  const double expect = expected_growth_ratio(cfg);
+  EXPECT_NEAR(measured_growth_ratio(cfg, pool), expect, 0.05 * expect);
+}
+
+TEST(Solver, GrowthErrorShrinksWithStepCount) {
+  // The paper's 5-step benchmark configuration is deliberately coarse; the
+  // integrator must converge toward linear theory as steps are refined.
+  SimConfig cfg = small_config();
+  cfg.hydro = false;
+  util::ThreadPool pool(8);
+  const double expect = expected_growth_ratio(cfg);
+  cfg.n_steps = 5;
+  const double err5 = std::abs(measured_growth_ratio(cfg, pool) / expect - 1.0);
+  cfg.n_steps = 20;
+  const double err20 = std::abs(measured_growth_ratio(cfg, pool) / expect - 1.0);
+  EXPECT_LT(err20, 0.5 * err5);
+  EXPECT_LT(err20, 0.06);
+  EXPECT_LT(err5, 0.30);
+}
+
+TEST(Solver, GravityOnlyPerParticleGrowthCorrelation) {
+  SimConfig cfg = small_config();
+  cfg.hydro = false;
+  cfg.n_steps = 20;
+  util::ThreadPool pool(8);
+  Solver solver(cfg, pool);
+  solver.initialize();
+  // Record initial displacements from the lattice.
+  const double dx = cfg.box / cfg.np_side;
+  const auto displacement = [&](const ParticleSet& p, std::vector<util::Vec3d>& out) {
+    out.clear();
+    std::size_t i = 0;
+    for (int ix = 0; ix < cfg.np_side; ++ix) {
+      for (int iy = 0; iy < cfg.np_side; ++iy) {
+        for (int iz = 0; iz < cfg.np_side; ++iz, ++i) {
+          const util::Vec3d q{(ix + 0.5) * dx, (iy + 0.5) * dx, (iz + 0.5) * dx};
+          out.push_back(sph::min_image(p.pos_of(i) - q, cfg.box));
+        }
+      }
+    }
+  };
+  std::vector<util::Vec3d> disp0, disp1;
+  displacement(solver.dm(), disp0);
+  for (int s = 0; s < cfg.n_steps; ++s) solver.step();
+  displacement(solver.dm(), disp1);
+
+  // Least-squares growth estimate <d1 . d0> / <d0 . d0>.
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < disp0.size(); ++i) {
+    num += dot(disp1[i], disp0[i]);
+    den += dot(disp0[i], disp0[i]);
+  }
+  const double a_i = ic::Cosmology::a_of_z(cfg.z_init);
+  const double a_f = ic::Cosmology::a_of_z(cfg.z_final);
+  const double growth_ratio = cfg.cosmo.growth(a_f) / cfg.cosmo.growth(a_i);
+  EXPECT_NEAR(num / den, growth_ratio, 0.1 * growth_ratio);
+}
+
+TEST(Solver, FullHydroRunStaysFinite) {
+  SimConfig cfg = small_config();
+  cfg.n_steps = 3;
+  util::ThreadPool pool(8);
+  Solver solver(cfg, pool);
+  solver.run();
+  const auto& gas = solver.gas();
+  for (std::size_t i = 0; i < gas.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(gas.x[i]));
+    ASSERT_TRUE(std::isfinite(gas.vx[i]));
+    ASSERT_TRUE(std::isfinite(gas.u[i]));
+    ASSERT_GE(gas.u[i], 0.f);
+    ASSERT_GT(gas.rho[i], 0.f);
+    ASSERT_GT(gas.V[i], 0.f);
+  }
+}
+
+TEST(Solver, TimersCoverAllPaperKernels) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 8;
+  cfg.n_steps = 2;
+  util::ThreadPool pool(4);
+  Solver solver(cfg, pool);
+  solver.run();
+  const auto& t = solver.timers();
+  // The seven SPH timers of Figs. 9-11 plus the gravity timers.
+  for (const char* name : {"upGeo", "upCor", "upBarEx", "upBarAc", "upBarDu",
+                           "upBarAcF", "upBarDuF", "grav_pm", "grav_pp"}) {
+    EXPECT_GT(t.get(name).calls, 0u) << name;
+  }
+  // upBarAcF runs every step; upBarAc only at initialization.
+  EXPECT_EQ(t.get("upBarAcF").calls, static_cast<std::uint64_t>(cfg.n_steps));
+  EXPECT_EQ(t.get("upBarAc").calls, 1u);
+}
+
+TEST(Solver, MassIsExactlyBoxVolume) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  util::ThreadPool pool(2);
+  Solver solver(cfg, pool);
+  solver.initialize();
+  const auto d = solver.diagnostics();
+  EXPECT_NEAR(d.total_mass, cfg.box * cfg.box * cfg.box, 1e-5 * d.total_mass);
+}
+
+TEST(Solver, BaryonFractionSplitsMass) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  cfg.baryon_fraction = 0.2;
+  util::ThreadPool pool(2);
+  Solver solver(cfg, pool);
+  solver.initialize();
+  double dm_mass = 0.0, gas_mass = 0.0;
+  for (const float m : solver.dm().mass) dm_mass += m;
+  for (const float m : solver.gas().mass) gas_mass += m;
+  EXPECT_NEAR(gas_mass / (dm_mass + gas_mass), 0.2, 1e-6);
+}
+
+TEST(Solver, MomentumStaysSmall) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 8;
+  cfg.n_steps = 3;
+  util::ThreadPool pool(4);
+  Solver solver(cfg, pool);
+  solver.run();
+  const auto d = solver.diagnostics();
+  // Zel'dovich ICs have zero net momentum; forces conserve it pair-wise.
+  const double v_scale = std::sqrt(2.0 * d.kinetic_energy / d.total_mass);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_LT(std::abs(d.momentum[c]), 0.05 * d.total_mass * v_scale) << c;
+  }
+}
+
+TEST(Solver, VariantSelectionIsExercised) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  cfg.n_steps = 1;
+  cfg.variants = VariantSelection::uniform(xsycl::CommVariant::kMemoryObject);
+  cfg.variants.acceleration = xsycl::CommVariant::kBroadcast;
+  util::ThreadPool pool(4);
+  Solver solver(cfg, pool);
+  solver.run();
+  xsycl::OpCounters total;
+  for (const auto& s : solver.queue().history()) total.merge(s.ops);
+  EXPECT_GT(total.localobj_bytes, 0u);   // MemoryObject kernels
+  EXPECT_GT(total.broadcast_ops, 0u);    // Broadcast acceleration
+  EXPECT_EQ(total.select_words, 0u);     // nothing used Select
+}
+
+TEST(Solver, SubGroupSizeSixteenRuns) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  cfg.n_steps = 1;
+  cfg.sub_group_size = 16;  // Aurora's HACC_SYCL_SG_SIZE
+  util::ThreadPool pool(4);
+  Solver solver(cfg, pool);
+  solver.run();
+  for (const auto& s : solver.queue().history()) {
+    EXPECT_EQ(s.sub_group_size, 16);
+  }
+}
+
+}  // namespace
+}  // namespace hacc::core

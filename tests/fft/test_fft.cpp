@@ -1,0 +1,182 @@
+#include "fft/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hacc::fft {
+namespace {
+
+class Fft1D : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft1D, ::testing::Values(2, 4, 8, 16, 64, 256, 1024),
+                         [](const auto& info) { return "n" + std::to_string(info.param); });
+
+TEST_P(Fft1D, RoundTripRecoversInput) {
+  const int n = GetParam();
+  util::CounterRng rng(3);
+  std::vector<cplx> x(n), orig(n);
+  for (int i = 0; i < n; ++i) x[i] = orig[i] = {rng.normal(2 * i), rng.normal(2 * i + 1)};
+  fft_1d(x.data(), n, false);
+  fft_1d(x.data(), n, true);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real() / n, orig[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag() / n, orig[i].imag(), 1e-9);
+  }
+}
+
+TEST_P(Fft1D, DeltaTransformsToConstant) {
+  const int n = GetParam();
+  std::vector<cplx> x(n, 0.0);
+  x[0] = 1.0;
+  fft_1d(x.data(), n, false);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), 1.0, 1e-10);
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-10);
+  }
+}
+
+TEST_P(Fft1D, ParsevalHolds)
+{
+  const int n = GetParam();
+  util::CounterRng rng(17);
+  std::vector<cplx> x(n);
+  double time_energy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x[i] = {rng.normal(2 * i), rng.normal(2 * i + 1)};
+    time_energy += std::norm(x[i]);
+  }
+  fft_1d(x.data(), n, false);
+  double freq_energy = 0.0;
+  for (int k = 0; k < n; ++k) freq_energy += std::norm(x[k]);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-6 * std::max(1.0, time_energy));
+}
+
+TEST(Fft1DBasics, SingleModeLandsInCorrectBin) {
+  constexpr int n = 32;
+  constexpr int mode = 5;
+  std::vector<cplx> x(n);
+  for (int i = 0; i < n; ++i) {
+    const double phase = 2.0 * M_PI * mode * i / n;
+    x[i] = {std::cos(phase), std::sin(phase)};  // e^{+i 2π m i / n}
+  }
+  fft_1d(x.data(), n, false);
+  for (int k = 0; k < n; ++k) {
+    const double expected = (k == mode) ? n : 0.0;
+    EXPECT_NEAR(x[k].real(), expected, 1e-9) << "bin " << k;
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft1DBasics, Linearity) {
+  constexpr int n = 64;
+  util::CounterRng rng(5);
+  std::vector<cplx> a(n), b(n), sum(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = {rng.normal(2 * i), 0.0};
+    b[i] = {0.0, rng.normal(2 * i + 1)};
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  fft_1d(a.data(), n, false);
+  fft_1d(b.data(), n, false);
+  fft_1d(sum.data(), n, false);
+  for (int k = 0; k < n; ++k) {
+    const cplx expect = 2.0 * a[k] + 3.0 * b[k];
+    EXPECT_NEAR(sum[k].real(), expect.real(), 1e-8);
+    EXPECT_NEAR(sum[k].imag(), expect.imag(), 1e-8);
+  }
+}
+
+TEST(Fft1DBasics, RealInputHasHermitianSpectrum) {
+  constexpr int n = 128;
+  util::CounterRng rng(11);
+  std::vector<cplx> x(n);
+  for (int i = 0; i < n; ++i) x[i] = {rng.normal(i), 0.0};
+  fft_1d(x.data(), n, false);
+  for (int k = 1; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), x[n - k].real(), 1e-8);
+    EXPECT_NEAR(x[k].imag(), -x[n - k].imag(), 1e-8);
+  }
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(1));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+class Fft3DTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft3DTest, ::testing::Values(4, 8, 16, 32),
+                         [](const auto& info) { return "n" + std::to_string(info.param); });
+
+TEST_P(Fft3DTest, RoundTrip) {
+  const int n = GetParam();
+  util::ThreadPool pool(4);
+  Fft3D fft(n, pool);
+  util::CounterRng rng(23);
+  std::vector<cplx> grid(fft.size()), orig;
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i] = {rng.normal(i), 0.0};
+  orig = grid;
+  fft.forward(grid);
+  fft.inverse(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_NEAR(grid[i].real(), orig[i].real(), 1e-8);
+    ASSERT_NEAR(grid[i].imag(), orig[i].imag(), 1e-8);
+  }
+}
+
+TEST_P(Fft3DTest, PlaneWaveLandsInSingleBin) {
+  const int n = GetParam();
+  util::ThreadPool pool(2);
+  Fft3D fft(n, pool);
+  const int kx = 1, ky = 2 % n, kz = 3 % n;
+  std::vector<cplx> grid(fft.size());
+  for (int ix = 0; ix < n; ++ix) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int iz = 0; iz < n; ++iz) {
+        const double phase = 2.0 * M_PI * (kx * ix + ky * iy + kz * iz) / n;
+        grid[(static_cast<std::size_t>(ix) * n + iy) * n + iz] = {std::cos(phase),
+                                                                  std::sin(phase)};
+      }
+    }
+  }
+  fft.forward(grid);
+  const std::size_t hot = (static_cast<std::size_t>(kx) * n + ky) * n + kz;
+  const double total = static_cast<double>(fft.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double expect = (i == hot) ? total : 0.0;
+    ASSERT_NEAR(grid[i].real(), expect, 1e-6 * total) << i;
+    ASSERT_NEAR(grid[i].imag(), 0.0, 1e-6 * total) << i;
+  }
+}
+
+TEST(Fft3DErrors, RejectsNonPow2) {
+  util::ThreadPool pool(1);
+  EXPECT_THROW(Fft3D(12, pool), std::invalid_argument);
+}
+
+TEST(Fft3DThreads, ResultIndependentOfThreadCount) {
+  constexpr int n = 16;
+  util::ThreadPool p1(1), p8(8);
+  Fft3D f1(n, p1), f8(n, p8);
+  util::CounterRng rng(31);
+  std::vector<cplx> a(f1.size()), b;
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = {rng.normal(i), rng.uniform(i)};
+  b = a;
+  f1.forward(a);
+  f8.forward(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i].real(), b[i].real());
+    ASSERT_DOUBLE_EQ(a[i].imag(), b[i].imag());
+  }
+}
+
+}  // namespace
+}  // namespace hacc::fft

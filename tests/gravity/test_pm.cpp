@@ -1,0 +1,212 @@
+#include "gravity/pm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gravity/pp_short.hpp"
+#include "tree/rcb.hpp"
+#include "util/rng.hpp"
+#include "xsycl/queue.hpp"
+
+namespace hacc::gravity {
+namespace {
+
+using util::Vec3d;
+
+TEST(PmSolver, UniformLatticeFeelsNoForce) {
+  util::ThreadPool pool(4);
+  PmOptions opt;
+  opt.grid_n = 16;
+  opt.box = 8.0;
+  opt.G = 1.0;
+  PmSolver pm(opt, pool);
+  std::vector<Vec3d> pos;
+  std::vector<double> mass;
+  for (int ix = 0; ix < 8; ++ix) {
+    for (int iy = 0; iy < 8; ++iy) {
+      for (int iz = 0; iz < 8; ++iz) {
+        pos.push_back({ix + 0.5, iy + 0.5, iz + 0.5});
+        mass.push_back(1.0);
+      }
+    }
+  }
+  std::vector<Vec3d> accel(pos.size());
+  pm.compute_forces(pos, mass, accel);
+  for (const auto& a : accel) {
+    EXPECT_NEAR(norm(a), 0.0, 1e-10);
+  }
+}
+
+TEST(PmSolver, NetMomentumChangeVanishes) {
+  util::ThreadPool pool(4);
+  PmOptions opt;
+  opt.grid_n = 32;
+  opt.box = 10.0;
+  PmSolver pm(opt, pool);
+  util::CounterRng rng(5);
+  std::vector<Vec3d> pos;
+  std::vector<double> mass;
+  for (int i = 0; i < 300; ++i) {
+    pos.push_back({10.0 * rng.uniform(3 * i), 10.0 * rng.uniform(3 * i + 1),
+                   10.0 * rng.uniform(3 * i + 2)});
+    mass.push_back(0.5 + rng.uniform(1000 + i));
+  }
+  std::vector<Vec3d> accel(pos.size());
+  pm.compute_forces(pos, mass, accel);
+  Vec3d net{};
+  double scale = 0.0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    net += accel[i] * mass[i];
+    scale += mass[i] * norm(accel[i]);
+  }
+  EXPECT_LT(norm(net), 2e-2 * scale);
+}
+
+TEST(PmSolver, PairForceIsAttractiveAndSymmetric) {
+  util::ThreadPool pool(2);
+  PmOptions opt;
+  opt.grid_n = 32;
+  opt.box = 16.0;
+  opt.r_split = 0.0;  // unfiltered: full force from the mesh
+  PmSolver pm(opt, pool);
+  const std::vector<Vec3d> pos = {{6.0, 8.0, 8.0}, {10.0, 8.0, 8.0}};
+  const std::vector<double> mass = {1.0, 1.0};
+  std::vector<Vec3d> accel(2);
+  pm.compute_forces(pos, mass, accel);
+  EXPECT_GT(accel[0].x, 0.0);  // pulled toward the other particle
+  EXPECT_LT(accel[1].x, 0.0);
+  EXPECT_NEAR(accel[0].x, -accel[1].x, 1e-6 * std::abs(accel[0].x) + 1e-12);
+  EXPECT_NEAR(accel[0].y, 0.0, 1e-8);
+  EXPECT_NEAR(accel[0].z, 0.0, 1e-8);
+}
+
+// The force-splitting recombination test: PM(filtered) + PP(short) must
+// reproduce Newton across separations spanning the split scale.
+class SplitRecombination : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Separations, SplitRecombination,
+                         ::testing::Values(0.8, 1.5, 2.5, 4.0),
+                         [](const auto& info) {
+                           return "r" + std::to_string(int(info.param * 10));
+                         });
+
+TEST_P(SplitRecombination, PmPlusPpMatchesNewton) {
+  const double sep = GetParam();
+  util::ThreadPool pool(2);
+  const double box = 32.0;
+  const double g = 1.0;
+  const double rs = 1.25;  // split scale ~ PM cell
+  PmOptions opt;
+  opt.grid_n = 64;
+  opt.box = box;
+  opt.r_split = rs;
+  opt.G = g;
+  PmSolver pm(opt, pool);
+  const PolyShortForce poly(rs, 5.0 * rs);
+
+  const Vec3d x0{16.0 - sep / 2, 16.0, 16.0};
+  const Vec3d x1{16.0 + sep / 2, 16.0, 16.0};
+  const std::vector<Vec3d> pos = {x0, x1};
+  const std::vector<double> mass = {1.0, 1.0};
+  std::vector<Vec3d> accel(2);
+  pm.compute_forces(pos, mass, accel);
+
+  // Short-range contribution (reference path, brute force).
+  std::vector<float> xs = {float(x0.x), float(x1.x)};
+  std::vector<float> ys = {float(x0.y), float(x1.y)};
+  std::vector<float> zs = {float(x0.z), float(x1.z)};
+  std::vector<float> ms = {1.f, 1.f};
+  std::vector<float> ax(2, 0.f), ay(2, 0.f), az(2, 0.f);
+  GravityArrays arrays{xs.data(), ys.data(), zs.data(), ms.data(),
+                       ax.data(), ay.data(), az.data(), 2};
+  reference_pp_short(arrays, poly, float(box), float(g), 0.f);
+
+  const double total_x = accel[0].x + ax[0];
+  const double newton = g / (sep * sep);
+  EXPECT_NEAR(total_x, newton, 0.05 * newton) << "sep=" << sep;
+}
+
+TEST(PpShortKernel, MatchesBruteForceReference) {
+  util::ThreadPool pool(4);
+  xsycl::Queue q(pool);
+  const float box = 10.0f;
+  const double rs = 0.8;
+  const PolyShortForce poly(rs, 4.0 * rs);
+  util::CounterRng rng(11);
+  const int n = 500;
+  std::vector<Vec3d> pos_d(n);
+  std::vector<float> x(n), y(n), z(n), m(n);
+  for (int i = 0; i < n; ++i) {
+    pos_d[i] = {box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+                box * rng.uniform(3 * i + 2)};
+    x[i] = float(pos_d[i].x);
+    y[i] = float(pos_d[i].y);
+    z[i] = float(pos_d[i].z);
+    m[i] = 1.0f + float(rng.uniform(9000 + i));
+  }
+  // Kernel path.
+  std::vector<float> ax(n, 0.f), ay(n, 0.f), az(n, 0.f);
+  tree::RcbTree tr(pos_d, box, 24);
+  const auto pairs = tr.interacting_pairs(poly.r_cut());
+  PpOptions opt;
+  opt.box = box;
+  opt.G = 0.7f;
+  opt.softening = 0.05f;
+  run_pp_short(q, {x.data(), y.data(), z.data(), m.data(), ax.data(), ay.data(),
+                   az.data(), static_cast<std::size_t>(n)},
+               tr, pairs, poly, opt);
+  // Reference path.
+  std::vector<float> rx(n, 0.f), ry(n, 0.f), rz(n, 0.f);
+  reference_pp_short({x.data(), y.data(), z.data(), m.data(), rx.data(), ry.data(),
+                      rz.data(), static_cast<std::size_t>(n)},
+                     poly, box, 0.7f, 0.05f);
+  double scale = 1e-20;
+  for (int i = 0; i < n; ++i) scale = std::max(scale, double(std::abs(rx[i])));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_NEAR(ax[i], rx[i], 2e-4 * scale) << i;
+    ASSERT_NEAR(ay[i], ry[i], 2e-4 * scale) << i;
+    ASSERT_NEAR(az[i], rz[i], 2e-4 * scale) << i;
+  }
+}
+
+TEST(PpShortKernel, MomentumConservedAcrossVariants) {
+  util::ThreadPool pool(4);
+  const float box = 8.0f;
+  const double rs = 0.6;
+  const PolyShortForce poly(rs, 4.0 * rs);
+  util::CounterRng rng(13);
+  const int n = 300;
+  std::vector<Vec3d> pos_d(n);
+  std::vector<float> x(n), y(n), z(n), m(n);
+  for (int i = 0; i < n; ++i) {
+    pos_d[i] = {box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+                box * rng.uniform(3 * i + 2)};
+    x[i] = float(pos_d[i].x);
+    y[i] = float(pos_d[i].y);
+    z[i] = float(pos_d[i].z);
+    m[i] = 1.0f;
+  }
+  tree::RcbTree tr(pos_d, box, 16);
+  const auto pairs = tr.interacting_pairs(poly.r_cut());
+  for (const auto variant : xsycl::kAllVariants) {
+    xsycl::Queue q(pool);
+    std::vector<float> ax(n, 0.f), ay(n, 0.f), az(n, 0.f);
+    PpOptions opt;
+    opt.box = box;
+    opt.softening = 0.05f;
+    opt.variant = variant;
+    run_pp_short(q, {x.data(), y.data(), z.data(), m.data(), ax.data(), ay.data(),
+                     az.data(), static_cast<std::size_t>(n)},
+                 tr, pairs, poly, opt);
+    double px = 0, scale = 0;
+    for (int i = 0; i < n; ++i) {
+      px += ax[i];
+      scale += std::abs(ax[i]);
+    }
+    EXPECT_NEAR(px, 0.0, 1e-3 * std::max(scale, 1e-12)) << to_string(variant);
+  }
+}
+
+}  // namespace
+}  // namespace hacc::gravity

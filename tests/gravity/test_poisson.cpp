@@ -1,0 +1,131 @@
+#include "gravity/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hacc::gravity {
+namespace {
+
+TEST(SplitForce, ShortFractionIsOneAtOrigin) {
+  const SplitForce split(1.0);
+  EXPECT_DOUBLE_EQ(split.short_fraction(0.0), 1.0);
+  EXPECT_NEAR(split.short_fraction(1e-6), 1.0, 1e-9);
+}
+
+TEST(SplitForce, ShortFractionDecaysToZero) {
+  const SplitForce split(1.0);
+  // s(8 r_s) = erfc(4) + (8/sqrt(pi)) e^{-16} ~ 5e-7.
+  EXPECT_LT(split.short_fraction(8.0), 1e-5);
+  EXPECT_LT(split.short_fraction(12.0), 1e-9);
+  double prev = 1.0;
+  for (double r = 0.1; r < 6.0; r += 0.1) {
+    const double s = split.short_fraction(r);
+    EXPECT_LE(s, prev + 1e-14) << "r=" << r;
+    prev = s;
+  }
+}
+
+TEST(SplitForce, FractionsSumToUnity) {
+  const SplitForce split(0.7);
+  for (double r = 0.01; r < 5.0; r += 0.17) {
+    EXPECT_NEAR(split.short_fraction(r) + split.long_fraction(r), 1.0, 1e-14);
+  }
+}
+
+TEST(SplitForce, LongProfileFiniteAndSmoothAtOrigin) {
+  const SplitForce split(1.0);
+  const double l0 = split.long_profile(0.0);
+  EXPECT_NEAR(l0, 1.0 / (6.0 * std::sqrt(M_PI)), 1e-12);
+  // Approaches the limit continuously.
+  EXPECT_NEAR(split.long_profile(1e-3), l0, 1e-4 * l0);
+  EXPECT_NEAR(split.long_profile(0.05), l0, 0.01 * l0);
+}
+
+TEST(SplitForce, LongProfileMatchesDefinition) {
+  const SplitForce split(1.3);
+  for (double r = 0.2; r < 5.0; r += 0.3) {
+    const double expect = (1.0 - split.short_fraction(r)) / (r * r * r);
+    EXPECT_NEAR(split.long_profile(r), expect, 1e-12 * expect);
+  }
+}
+
+TEST(SplitForce, KFilterIsGaussianInK) {
+  const SplitForce split(2.0);
+  EXPECT_DOUBLE_EQ(split.k_filter(0.0), 1.0);
+  EXPECT_NEAR(split.k_filter(1.0), std::exp(-4.0), 1e-12);
+  EXPECT_NEAR(split.k_filter(0.5), std::exp(-1.0), 1e-12);
+}
+
+TEST(SplitForce, ScalesWithSplitRadius) {
+  // s(r; r_s) depends only on r/r_s.
+  const SplitForce a(1.0), b(2.0);
+  for (double r = 0.1; r < 4.0; r += 0.2) {
+    EXPECT_NEAR(a.short_fraction(r), b.short_fraction(2.0 * r), 1e-12);
+  }
+}
+
+class PolyOrder : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Orders, PolyOrder, ::testing::Values(2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "order" + std::to_string(info.param);
+                         });
+
+TEST_P(PolyOrder, FitErrorSmallRelativeToProfilePeak) {
+  const int order = GetParam();
+  const double rs = 1.0;
+  const PolyShortForce poly(rs, 5.0 * rs, order);
+  const SplitForce split(rs);
+  const double peak = split.long_profile(0.0);
+  // Higher orders fit tighter; order 5 (HACC's choice) is comfortably <1%.
+  const double budget = order >= 5 ? 0.01 : (order >= 3 ? 0.05 : 0.25);
+  EXPECT_LT(poly.max_abs_error() / peak, budget) << "order " << order;
+}
+
+TEST(PolyShortForce, OrderFiveMatchesHaccDefault) {
+  const PolyShortForce poly(1.0, 5.0);
+  EXPECT_EQ(poly.order(), 5);
+  EXPECT_EQ(poly.coefficients().size(), 6u);
+}
+
+TEST(PolyShortForce, ShortProfileApproachesNewtonAtSmallR) {
+  const double rs = 1.0;
+  const PolyShortForce poly(rs, 5.0 * rs);
+  // At r << r_s the grid force is tiny: profile ~ 1/r^3.
+  const float r = 0.05f;
+  const float newton = 1.0f / (r * r * r);
+  EXPECT_NEAR(poly.short_profile(r * r, 0.f) / newton, 1.0, 1e-3);
+}
+
+TEST(PolyShortForce, ShortProfileNearZeroAtCutoff) {
+  const double rs = 1.0;
+  const PolyShortForce poly(rs, 5.0 * rs);
+  const float r = 4.9f;
+  const float newton = 1.0f / (r * r * r);
+  // At the cutoff nearly all force comes from the mesh.
+  EXPECT_LT(std::abs(poly.short_profile(r * r, 0.f)), 0.05f * newton);
+}
+
+TEST(PolyShortForce, MatchesExactShortFractionAcrossRange) {
+  const double rs = 1.0;
+  const PolyShortForce poly(rs, 5.0 * rs);
+  const SplitForce split(rs);
+  for (double r = 0.2; r < 4.8; r += 0.2) {
+    const double exact = split.short_fraction(r) / (r * r * r);
+    const double approx = poly.short_profile(static_cast<float>(r * r), 0.f);
+    const double scale = 1.0 / (r * r * r);
+    EXPECT_NEAR(approx, exact, 0.01 * scale) << "r=" << r;
+  }
+}
+
+TEST(PolyShortForce, SofteningRegularizesOrigin) {
+  const PolyShortForce poly(1.0, 5.0);
+  const float eps2 = 0.01f;
+  const float at_zero = poly.short_profile(0.f, eps2);
+  EXPECT_GT(at_zero, 0.f);
+  EXPECT_LT(at_zero, 1.0f / (0.1f * 0.1f * 0.1f) * 1.1f);  // ~1/eps^3
+}
+
+}  // namespace
+}  // namespace hacc::gravity

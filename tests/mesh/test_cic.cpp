@@ -1,0 +1,134 @@
+#include "mesh/cic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hacc::mesh {
+namespace {
+
+using util::Vec3d;
+
+TEST(Grid3, WrapHandlesNegativeAndOverflow) {
+  GridD g(8);
+  EXPECT_EQ(g.wrap(0), 0);
+  EXPECT_EQ(g.wrap(7), 7);
+  EXPECT_EQ(g.wrap(8), 0);
+  EXPECT_EQ(g.wrap(-1), 7);
+  EXPECT_EQ(g.wrap(-8), 0);
+  EXPECT_EQ(g.wrap(17), 1);
+}
+
+TEST(Grid3, IndexLayoutRowMajorZFastest) {
+  GridD g(4);
+  EXPECT_EQ(g.index(0, 0, 1), 1u);
+  EXPECT_EQ(g.index(0, 1, 0), 4u);
+  EXPECT_EQ(g.index(1, 0, 0), 16u);
+}
+
+TEST(CicDeposit, ConservesTotalMass) {
+  GridD grid(16);
+  const double box = 100.0;
+  util::CounterRng rng(7);
+  std::vector<Vec3d> pos;
+  std::vector<double> mass;
+  double total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    pos.push_back({box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+                   box * rng.uniform(3 * i + 2)});
+    mass.push_back(1.0 + rng.uniform(10'000 + i));
+    total += mass.back();
+  }
+  cic_deposit(grid, pos, mass, box);
+  EXPECT_NEAR(grid.sum(), total, 1e-9 * total);
+}
+
+TEST(CicDeposit, ParticleAtCellCenterDepositsToSingleCell) {
+  GridD grid(8);
+  const double box = 8.0;  // cell size 1: centers at half-integer coordinates
+  const std::vector<Vec3d> pos = {{2.5, 3.5, 4.5}};
+  const std::vector<double> mass = {2.0};
+  cic_deposit(grid, pos, mass, box);
+  EXPECT_DOUBLE_EQ(grid.at(2, 3, 4), 2.0);
+  EXPECT_DOUBLE_EQ(grid.sum(), 2.0);
+}
+
+TEST(CicDeposit, MidpointSplitsEvenlyAcrossNeighbors) {
+  GridD grid(8);
+  const double box = 8.0;
+  // On a cell edge in x only: splits 50/50 between two cells.
+  const std::vector<Vec3d> pos = {{3.0, 2.5, 2.5}};
+  const std::vector<double> mass = {1.0};
+  cic_deposit(grid, pos, mass, box);
+  EXPECT_DOUBLE_EQ(grid.at(2, 2, 2), 0.5);
+  EXPECT_DOUBLE_EQ(grid.at(3, 2, 2), 0.5);
+}
+
+TEST(CicDeposit, WrapsAcrossPeriodicBoundary) {
+  GridD grid(8);
+  const double box = 8.0;
+  // Near the box edge: part of the cloud wraps to cell 0.
+  const std::vector<Vec3d> pos = {{7.9, 0.5, 0.5}};
+  const std::vector<double> mass = {1.0};
+  cic_deposit(grid, pos, mass, box);
+  EXPECT_NEAR(grid.sum(), 1.0, 1e-12);
+  EXPECT_GT(grid.at(0, 0, 0), 0.0);  // wrapped share
+  EXPECT_GT(grid.at(7, 0, 0), 0.0);
+}
+
+TEST(CicInterpolate, RecoversConstantFieldExactly) {
+  GridD grid(8);
+  grid.fill(3.25);
+  const double box = 50.0;
+  util::CounterRng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3d p{box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+                  box * rng.uniform(3 * i + 2)};
+    EXPECT_NEAR(cic_interpolate(grid, p, box), 3.25, 1e-12);
+  }
+}
+
+TEST(CicInterpolate, LinearFieldReproducedBetweenCellCenters) {
+  // CIC is exact for fields linear in the coordinates (away from wrap).
+  const int n = 16;
+  GridD grid(n);
+  const double box = 16.0;
+  for (int ix = 0; ix < n; ++ix) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int iz = 0; iz < n; ++iz) {
+        const double x = (ix + 0.5);  // cell center coordinate
+        grid.at(ix, iy, iz) = 2.0 * x;
+      }
+    }
+  }
+  for (double x = 4.0; x <= 12.0; x += 0.37) {
+    const Vec3d p{x, 8.0, 8.0};
+    EXPECT_NEAR(cic_interpolate(grid, p, box), 2.0 * x, 1e-10);
+  }
+}
+
+TEST(CicRoundTrip, DepositThenInterpolateAtSamePointIsPositive) {
+  GridD grid(16);
+  const double box = 32.0;
+  const std::vector<Vec3d> pos = {{11.3, 21.7, 5.2}};
+  const std::vector<double> mass = {4.0};
+  cic_deposit(grid, pos, mass, box);
+  EXPECT_GT(cic_interpolate(grid, pos[0], box), 0.0);
+}
+
+TEST(CicInterpolate3, GathersAllComponents) {
+  GridD gx(4), gy(4), gz(4);
+  gx.fill(1.0);
+  gy.fill(2.0);
+  gz.fill(3.0);
+  const Vec3d f = cic_interpolate3(gx, gy, gz, {1.0, 2.0, 3.0}, 4.0);
+  EXPECT_NEAR(f.x, 1.0, 1e-12);
+  EXPECT_NEAR(f.y, 2.0, 1e-12);
+  EXPECT_NEAR(f.z, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hacc::mesh

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "metrics/cbi/classifier.hpp"
+#include "metrics/cbi/pp_eval.hpp"
+#include "metrics/cbi/source_lexer.hpp"
+
+namespace hacc::metrics::cbi {
+namespace {
+
+// ---- Lexer ----
+
+TEST(SourceLexer, StripsLineComments) {
+  const auto lex = lex_source("int a; // comment\n// only comment\nint b;\n");
+  ASSERT_EQ(lex.n_physical_lines, 3);
+  EXPECT_TRUE(lex.has_code[0]);
+  EXPECT_FALSE(lex.has_code[1]);  // comment-only line: not SLOC
+  EXPECT_TRUE(lex.has_code[2]);
+}
+
+TEST(SourceLexer, StripsBlockComments) {
+  const auto lex = lex_source("int a; /* c1 */\n/* whole\n   line */\nint b;\n");
+  ASSERT_EQ(lex.n_physical_lines, 4);
+  EXPECT_TRUE(lex.has_code[0]);
+  EXPECT_FALSE(lex.has_code[1]);
+  EXPECT_FALSE(lex.has_code[2]);
+  EXPECT_TRUE(lex.has_code[3]);
+}
+
+TEST(SourceLexer, CommentMarkersInsideStringsIgnored) {
+  const auto lex = lex_source("const char* s = \"// not a comment\";\n");
+  EXPECT_TRUE(lex.has_code[0]);
+  // The directive detector must not fire on string contents either.
+  EXPECT_FALSE(lex.logical[0].is_directive);
+}
+
+TEST(SourceLexer, BlockCommentOpenInsideStringIgnored) {
+  const auto lex = lex_source("const char* s = \"/*\";\nint alive;\n");
+  ASSERT_EQ(lex.n_physical_lines, 2);
+  EXPECT_TRUE(lex.has_code[1]);  // would be swallowed if "/*" opened a comment
+}
+
+TEST(SourceLexer, JoinsContinuations) {
+  const auto lex = lex_source("#define FOO \\\n  42\nint x;\n");
+  ASSERT_GE(lex.logical.size(), 2u);
+  EXPECT_TRUE(lex.logical[0].is_directive);
+  EXPECT_EQ(lex.logical[0].n_physical, 2);
+  EXPECT_NE(lex.logical[0].text.find("42"), std::string::npos);
+}
+
+TEST(SourceLexer, BlankLinesAreNotCode) {
+  const auto lex = lex_source("\n   \n\t\nint x;\n");
+  EXPECT_FALSE(lex.has_code[0]);
+  EXPECT_FALSE(lex.has_code[1]);
+  EXPECT_FALSE(lex.has_code[2]);
+  EXPECT_TRUE(lex.has_code[3]);
+}
+
+TEST(SourceLexer, DirectivesDetectedWithLeadingWhitespace) {
+  const auto lex = lex_source("   #ifdef X\n#endif\n");
+  EXPECT_TRUE(lex.logical[0].is_directive);
+  EXPECT_TRUE(lex.logical[1].is_directive);
+}
+
+// ---- Preprocessor expression evaluation ----
+
+TEST(PpEval, IntegerArithmetic) {
+  const DefineMap none;
+  EXPECT_EQ(eval_pp_expression("1 + 2 * 3", none).value, 7);
+  EXPECT_EQ(eval_pp_expression("(1 + 2) * 3", none).value, 9);
+  EXPECT_EQ(eval_pp_expression("7 / 2", none).value, 3);
+  EXPECT_EQ(eval_pp_expression("7 % 4", none).value, 3);
+  EXPECT_EQ(eval_pp_expression("-3 + 5", none).value, 2);
+  EXPECT_EQ(eval_pp_expression("0x10", none).value, 16);
+}
+
+TEST(PpEval, ComparisonsAndLogic) {
+  const DefineMap none;
+  EXPECT_EQ(eval_pp_expression("3 > 2 && 2 >= 2", none).value, 1);
+  EXPECT_EQ(eval_pp_expression("1 == 2 || 3 != 4", none).value, 1);
+  EXPECT_EQ(eval_pp_expression("!(5 < 4)", none).value, 1);
+  EXPECT_EQ(eval_pp_expression("1 << 4", none).value, 16);
+  EXPECT_EQ(eval_pp_expression("6 & 3", none).value, 2);
+  EXPECT_EQ(eval_pp_expression("6 | 1", none).value, 7);
+  EXPECT_EQ(eval_pp_expression("6 ^ 3", none).value, 5);
+}
+
+TEST(PpEval, DefinedOperator) {
+  const DefineMap defs = {{"HACC_SYCL", ""}, {"ORDER", "5"}};
+  EXPECT_EQ(eval_pp_expression("defined(HACC_SYCL)", defs).value, 1);
+  EXPECT_EQ(eval_pp_expression("defined HACC_SYCL", defs).value, 1);
+  EXPECT_EQ(eval_pp_expression("defined(NOPE)", defs).value, 0);
+  EXPECT_EQ(eval_pp_expression("defined(ORDER) && ORDER >= 5", defs).value, 1);
+}
+
+TEST(PpEval, UndefinedIdentifiersAreZero) {
+  const DefineMap none;
+  EXPECT_EQ(eval_pp_expression("MISSING", none).value, 0);
+  EXPECT_EQ(eval_pp_expression("MISSING + 1", none).value, 1);
+}
+
+TEST(PpEval, MacroExpansion) {
+  const DefineMap defs = {{"A", "2"}, {"B", "A + 1"}, {"EMPTY", ""}};
+  EXPECT_EQ(eval_pp_expression("B * 2", defs).value, 6);  // (2+1)*2
+  EXPECT_EQ(eval_pp_expression("EMPTY", defs).value, 1);  // plain #define
+}
+
+TEST(PpEval, RecursionDepthBounded) {
+  const DefineMap defs = {{"X", "X"}};
+  EXPECT_FALSE(eval_pp_expression("X", defs).ok);
+}
+
+TEST(PpEval, MalformedExpressionsFlagged) {
+  const DefineMap none;
+  EXPECT_FALSE(eval_pp_expression("1 +", none).ok);
+  EXPECT_FALSE(eval_pp_expression("(1", none).ok);
+  EXPECT_FALSE(eval_pp_expression("1 / 0", none).ok);
+}
+
+// ---- Classifier ----
+
+std::vector<Configuration> two_configs() {
+  return {{"cuda", {{"__CUDACC__", "1"}}}, {"sycl", {{"HACC_SYCL", "1"}}}};
+}
+
+TEST(Classifier, SharedAndGuardedRegions) {
+  const std::string src =
+      "int shared_line;\n"
+      "#ifdef __CUDACC__\n"
+      "int cuda_only;\n"
+      "#else\n"
+      "int not_cuda;\n"
+      "#endif\n";
+  const auto cf = classify_file("f.cpp", src, two_configs());
+  ASSERT_EQ(cf.masks.size(), 6u);
+  EXPECT_EQ(cf.masks[0], 3u);  // both configs
+  EXPECT_EQ(cf.masks[2], 1u);  // cuda only
+  EXPECT_EQ(cf.masks[4], 2u);  // sycl only (else branch)
+  // Directives are attributed to the enclosing (shared) region.
+  EXPECT_EQ(cf.masks[1], 3u);
+  EXPECT_EQ(cf.masks[3], 3u);
+  EXPECT_EQ(cf.masks[5], 3u);
+}
+
+TEST(Classifier, ElifChains) {
+  const std::string src =
+      "#if defined(__CUDACC__)\n"
+      "int a;\n"
+      "#elif defined(HACC_SYCL)\n"
+      "int b;\n"
+      "#else\n"
+      "int c;\n"
+      "#endif\n";
+  const auto cf = classify_file("f.cpp", src, two_configs());
+  EXPECT_EQ(cf.masks[1], 1u);  // cuda branch
+  EXPECT_EQ(cf.masks[3], 2u);  // sycl branch
+  EXPECT_EQ(cf.masks[5], 0u);  // neither: unused
+}
+
+TEST(Classifier, NestedConditionals) {
+  const std::string src =
+      "#ifdef HACC_SYCL\n"
+      "#ifdef HACC_VISA\n"
+      "int visa;\n"
+      "#endif\n"
+      "int sycl;\n"
+      "#endif\n";
+  std::vector<Configuration> configs = {
+      {"sycl", {{"HACC_SYCL", "1"}}},
+      {"visa", {{"HACC_SYCL", "1"}, {"HACC_VISA", "1"}}}};
+  const auto cf = classify_file("f.cpp", src, configs);
+  EXPECT_EQ(cf.masks[2], 2u);  // visa config only
+  EXPECT_EQ(cf.masks[4], 3u);  // both
+}
+
+TEST(Classifier, FileLocalDefinesRespected) {
+  const std::string src =
+      "#define LOCAL_FLAG 1\n"
+      "#if LOCAL_FLAG\n"
+      "int on;\n"
+      "#endif\n"
+      "#undef LOCAL_FLAG\n"
+      "#if LOCAL_FLAG\n"
+      "int off;\n"
+      "#endif\n";
+  const std::vector<Configuration> configs = {{"only", {}}};
+  const auto cf = classify_file("f.cpp", src, configs);
+  EXPECT_EQ(cf.masks[2], 1u);
+  EXPECT_EQ(cf.masks[6], 0u);
+}
+
+TEST(Classifier, InactiveRegionDefinesIgnored) {
+  const std::string src =
+      "#ifdef NEVER\n"
+      "#define GHOST 1\n"
+      "#endif\n"
+      "#if GHOST\n"
+      "int ghost;\n"
+      "#endif\n";
+  const std::vector<Configuration> configs = {{"only", {}}};
+  const auto cf = classify_file("f.cpp", src, configs);
+  EXPECT_EQ(cf.masks[4], 0u);
+}
+
+TEST(Classifier, UnusedLinesCounted) {
+  // "Unused" lines (paper Table 2): code compiled by NO configuration, like
+  // the sub-grid kernels disabled in adiabatic mode.
+  const std::string src =
+      "int used;\n"
+      "#ifdef HACC_SUBGRID_AGN\n"
+      "int agn_feedback;\n"
+      "int more_agn;\n"
+      "#endif\n";
+  const SourceFile file{"f.cpp", src};
+  const auto tree = classify_tree(std::span(&file, 1), two_configs());
+  EXPECT_EQ(tree.total_sloc, 5u);
+  EXPECT_EQ(tree.unused_sloc, 2u);
+}
+
+TEST(Classifier, HistogramFeedsDivergence) {
+  const std::string src =
+      "int shared1;\n"
+      "int shared2;\n"
+      "#ifdef __CUDACC__\n"
+      "int cuda1;\n"
+      "#endif\n"
+      "#ifdef HACC_SYCL\n"
+      "int sycl1;\n"
+      "#endif\n";
+  const SourceFile file{"f.cpp", src};
+  const auto tree = classify_tree(std::span(&file, 1), two_configs());
+  // Shared: 2 code lines + 4 directive lines = 6; one line each exclusive.
+  // Jaccard distance = 1 - 6/8.
+  EXPECT_NEAR(tree.divergence(2), 0.25, 1e-12);
+  EXPECT_NEAR(tree.convergence(2), 0.75, 1e-12);
+}
+
+TEST(Classifier, SlocExcludesBlanksAndComments) {
+  const std::string src = "int a;\n\n// note\n/* block */\nint b;\n";
+  const auto cf = classify_file("f.cpp", src, two_configs());
+  EXPECT_EQ(cf.sloc(), 2u);
+}
+
+}  // namespace
+}  // namespace hacc::metrics::cbi

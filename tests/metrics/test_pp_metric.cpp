@@ -1,0 +1,105 @@
+#include "metrics/pp_metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/cascade.hpp"
+
+namespace hacc::metrics {
+namespace {
+
+TEST(PerformancePortability, HarmonicMeanOfEfficiencies) {
+  // Hand-computed: HM(0.5, 1.0) = 2 / (2 + 1) = 2/3.
+  EXPECT_NEAR(performance_portability({0.5, 1.0}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(performance_portability({0.25, 0.25, 0.25}), 0.25, 1e-12);
+}
+
+TEST(PerformancePortability, ZeroWhenAnyPlatformUnsupported) {
+  // Eq. 1: an application failing on any platform in H is not portable.
+  EXPECT_DOUBLE_EQ(performance_portability({1.0, 1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(performance_portability({0.9, -1.0}), 0.0);
+}
+
+TEST(PerformancePortability, SinglePlatformEqualsEfficiency) {
+  EXPECT_DOUBLE_EQ(performance_portability({0.73}), 0.73);
+}
+
+TEST(PerformancePortability, EmptyPlatformSetIsZero) {
+  EXPECT_DOUBLE_EQ(performance_portability({}), 0.0);
+}
+
+TEST(PerformancePortability, BoundedByMinAndMax) {
+  const std::vector<double> eff = {0.3, 0.8, 0.95, 0.6};
+  const double pp = performance_portability(eff);
+  EXPECT_GE(pp, *std::min_element(eff.begin(), eff.end()));
+  EXPECT_LE(pp, *std::max_element(eff.begin(), eff.end()));
+}
+
+TEST(PerformancePortability, DominatedByWorstPlatform) {
+  // The harmonic mean punishes a single bad platform hard.
+  const double balanced = performance_portability({0.6, 0.6, 0.6});
+  const double skewed = performance_portability({1.0, 1.0, 0.3});
+  EXPECT_LT(skewed, balanced);
+}
+
+TEST(PerformancePortability, PaperHeadlineValueReproducible) {
+  // With per-platform efficiencies like the specialized SYCL code's, PP
+  // lands near the paper's 0.96 headline.
+  const double pp = performance_portability({0.99, 0.99, 0.92});
+  EXPECT_NEAR(pp, 0.966, 0.005);
+}
+
+TEST(ApplicationEfficiency, BestOverAchieved) {
+  EXPECT_DOUBLE_EQ(application_efficiency(2.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(application_efficiency(3.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(application_efficiency(1.0, 0.0), 0.0);
+}
+
+TEST(EfficiencySet, PpFromPlatformMap) {
+  EfficiencySet s;
+  s.application = "test";
+  s.by_platform = {{"A", 0.5}, {"B", 1.0}};
+  EXPECT_NEAR(s.pp(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cascade, OrdersPlatformsByDescendingEfficiency) {
+  EfficiencySet s;
+  s.application = "app";
+  s.by_platform = {{"Polaris", 0.94}, {"Frontier", 0.97}, {"Aurora", 0.35}};
+  const auto c = make_cascade(s);
+  ASSERT_EQ(c.ordered.size(), 3u);
+  EXPECT_EQ(c.ordered[0].first, "Frontier");
+  EXPECT_EQ(c.ordered[1].first, "Polaris");
+  EXPECT_EQ(c.ordered[2].first, "Aurora");
+}
+
+TEST(Cascade, CumulativePpIsNonIncreasing) {
+  // Adding platforms in descending-efficiency order can only hold or lower
+  // the harmonic mean.
+  EfficiencySet s;
+  s.by_platform = {{"A", 1.0}, {"B", 0.8}, {"C", 0.4}, {"D", 0.9}};
+  const auto c = make_cascade(s);
+  for (std::size_t k = 1; k < c.cumulative_pp.size(); ++k) {
+    EXPECT_LE(c.cumulative_pp[k], c.cumulative_pp[k - 1] + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(c.final_pp, c.cumulative_pp.back());
+}
+
+TEST(Cascade, FirstPointIsBestEfficiency) {
+  EfficiencySet s;
+  s.by_platform = {{"A", 0.6}, {"B", 0.9}};
+  const auto c = make_cascade(s);
+  EXPECT_DOUBLE_EQ(c.cumulative_pp[0], 0.9);
+}
+
+TEST(Cascade, UnsupportedPlatformZeroesFinalPp) {
+  EfficiencySet s;
+  s.by_platform = {{"A", 0.9}, {"B", 0.0}};
+  const auto c = make_cascade(s);
+  EXPECT_DOUBLE_EQ(c.final_pp, 0.0);
+  EXPECT_DOUBLE_EQ(c.cumulative_pp[0], 0.9);  // partial-set PP still defined
+}
+
+}  // namespace
+}  // namespace hacc::metrics

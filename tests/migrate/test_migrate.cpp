@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "migrate/cuda_parser.hpp"
+#include "migrate/functorizer.hpp"
+#include "migrate/rewrites.hpp"
+
+namespace hacc::migrate {
+namespace {
+
+const char* kSampleKernel = R"(
+#include <cuda_runtime.h>
+
+__global__ void update_forces(float* accel, const float* pos, int n, float scale) {
+  float value = __ldg(&pos[blockIdx.x]);
+  float partner = __shfl_xor_sync(0xffffffff, value, 16);
+  atomicAdd(&accel[blockIdx.x], scale * partner);
+  __syncthreads();
+}
+
+void launch(float* accel, const float* pos, int n) {
+  update_forces<<<n / 128, 128>>>(accel, pos, n, 2.0f);
+}
+)";
+
+TEST(CudaParser, ExtractsKernelSignature) {
+  const auto parsed = parse_cuda(kSampleKernel);
+  ASSERT_EQ(parsed.kernels.size(), 1u);
+  const auto& k = parsed.kernels[0];
+  EXPECT_EQ(k.name, "update_forces");
+  ASSERT_EQ(k.params.size(), 4u);
+  EXPECT_EQ(k.params[0].type, "float*");
+  EXPECT_EQ(k.params[0].name, "accel");
+  EXPECT_EQ(k.params[1].type, "const float*");
+  EXPECT_EQ(k.params[1].name, "pos");
+  EXPECT_EQ(k.params[3].name, "scale");
+  EXPECT_NE(k.body.find("__shfl_xor_sync"), std::string::npos);
+}
+
+TEST(CudaParser, ExtractsLaunchSite) {
+  const auto parsed = parse_cuda(kSampleKernel);
+  ASSERT_EQ(parsed.launches.size(), 1u);
+  const auto& l = parsed.launches[0];
+  EXPECT_EQ(l.kernel, "update_forces");
+  EXPECT_EQ(l.grid, "n / 128");
+  EXPECT_EQ(l.block, "128");
+  ASSERT_EQ(l.args.size(), 4u);
+  EXPECT_EQ(l.args[3], "2.0f");
+}
+
+TEST(CudaParser, MultipleKernels) {
+  const std::string src =
+      "__global__ void a(int x) { }\n"
+      "__global__ void b(float* y, int z) { y[0] = z; }\n";
+  const auto parsed = parse_cuda(src);
+  ASSERT_EQ(parsed.kernels.size(), 2u);
+  EXPECT_EQ(parsed.kernels[0].name, "a");
+  EXPECT_EQ(parsed.kernels[1].name, "b");
+}
+
+TEST(CudaParser, SplitsNestedArguments) {
+  const auto args = split_top_level_args("f(a, b), g(c), h");
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], "f(a, b)");
+  EXPECT_EQ(args[1], "g(c)");
+  EXPECT_EQ(args[2], "h");
+}
+
+TEST(Rewrites, ShuffleXorBecomesPermuteByXor) {
+  Diagnostics diags;
+  const auto out =
+      rewrite_kernel_body("x = __shfl_xor_sync(0xffffffff, v, 16);", 1, diags);
+  EXPECT_EQ(out, "x = hacc::xsycl::permute_by_xor(sg, v, 16);");
+}
+
+TEST(Rewrites, GenericShuffleBecomesSelectWithHint) {
+  Diagnostics diags;
+  const auto out = rewrite_kernel_body("x = __shfl_sync(mask, v, src);", 1, diags);
+  EXPECT_EQ(out, "x = hacc::xsycl::select_from_group(sg, v, src);");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("group_broadcast"), std::string::npos);
+}
+
+TEST(Rewrites, AtomicsBecomeAtomicRef) {
+  Diagnostics diags;
+  EXPECT_EQ(rewrite_kernel_body("atomicAdd(&a[i], v);", 1, diags),
+            "hacc::xsycl::atomic_ref(a[i], sg.counters()).fetch_add(v);");
+  EXPECT_EQ(rewrite_kernel_body("atomicMax(&m, v);", 1, diags),
+            "hacc::xsycl::atomic_ref(m, sg.counters()).fetch_max(v);");
+  // atomicMin/Max carry the float-support note (§5.1).
+  bool found_note = false;
+  for (const auto& d : diags) {
+    if (d.rule == "atomic" && d.message.find("floating-point") != std::string::npos) {
+      found_note = true;
+    }
+  }
+  EXPECT_TRUE(found_note);
+}
+
+TEST(Rewrites, LdgRemovedWithDiagnostic) {
+  Diagnostics diags;
+  const auto out = rewrite_kernel_body("float v = __ldg(&p[i]);", 3, diags);
+  EXPECT_EQ(out, "float v = (p[i]);");
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].rule, "ldg");
+  EXPECT_EQ(diags[0].severity, Severity::kInfo);
+}
+
+TEST(Rewrites, MathPrecisionWarnings) {
+  Diagnostics diags;
+  const auto out = rewrite_kernel_body("y = __powf(x, 2.5f) + frexp(z, &e);", 7, diags);
+  EXPECT_NE(out.find("std::pow(x, 2.5f)"), std::string::npos);
+  bool warned = false;
+  for (const auto& d : diags) {
+    if (d.rule == "math-precision" && d.severity == Severity::kWarning) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Rewrites, ThreadGeometryMapped) {
+  Diagnostics diags;
+  const auto out =
+      rewrite_kernel_body("int i = blockIdx.x; int s = blockDim.x; __syncthreads();",
+                          1, diags);
+  EXPECT_NE(out.find("sg.index()"), std::string::npos);
+  EXPECT_NE(out.find("sg.size()"), std::string::npos);
+  EXPECT_NE(out.find("sg.barrier()"), std::string::npos);
+}
+
+TEST(Rewrites, WarpSizeFlagged) {
+  Diagnostics diags;
+  rewrite_kernel_body("int w = warpSize;", 1, diags);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags.back().rule, "sub-group-size");
+}
+
+TEST(Rewrites, IdentifierBoundariesRespected) {
+  Diagnostics diags;
+  // my__ldg_helper must NOT be rewritten.
+  const auto out = rewrite_kernel_body("my__ldg_helper(x);", 1, diags);
+  EXPECT_EQ(out, "my__ldg_helper(x);");
+}
+
+TEST(Functorizer, DeclarationHasCtorNameAndMembers) {
+  const auto parsed = parse_cuda(kSampleKernel);
+  const auto decl = emit_functor_declaration(parsed.kernels[0]);
+  // Fig. 1c: kernel defined as a function object invoked directly.
+  EXPECT_NE(decl.find("struct UpdateForcesKernel {"), std::string::npos);
+  EXPECT_NE(decl.find("void operator()(hacc::xsycl::SubGroup& sg) const;"),
+            std::string::npos);
+  EXPECT_NE(decl.find("float* accel;"), std::string::npos);
+  EXPECT_NE(decl.find("const float* pos;"), std::string::npos);
+  // Launch-by-name support (§4.2).
+  EXPECT_NE(decl.find("return \"update_forces\";"), std::string::npos);
+}
+
+TEST(Functorizer, LaunchBecomesQueueSubmit) {
+  const auto parsed = parse_cuda(kSampleKernel);
+  const auto launch = emit_launch(parsed.launches[0]);
+  EXPECT_EQ(launch,
+            "q.submit(UpdateForcesKernel(accel, pos, n, 2.0f), n / 128, "
+            "hacc::xsycl::LaunchConfig{});");
+}
+
+TEST(Functorizer, EndToEndMigration) {
+  const auto result = migrate_source(kSampleKernel);
+  EXPECT_EQ(result.kernels_migrated, 1);
+  EXPECT_EQ(result.launches_migrated, 1);
+  // The source keeps the surrounding host code but loses CUDA constructs.
+  EXPECT_EQ(result.source.find("__global__"), std::string::npos);
+  EXPECT_EQ(result.source.find("<<<"), std::string::npos);
+  EXPECT_NE(result.source.find("q.submit(UpdateForcesKernel"), std::string::npos);
+  EXPECT_NE(result.source.find("UpdateForcesKernel::operator()"), std::string::npos);
+  // The header declares the functor.
+  EXPECT_NE(result.header.find("struct UpdateForcesKernel"), std::string::npos);
+  // Diagnostics include the removable __ldg (the paper's example, §4.1).
+  bool ldg = false;
+  for (const auto& d : result.diagnostics) ldg |= d.rule == "ldg";
+  EXPECT_TRUE(ldg);
+}
+
+TEST(Functorizer, MigratedBodyUsesXsyclPrimitives) {
+  const auto result = migrate_source(kSampleKernel);
+  EXPECT_NE(result.source.find("hacc::xsycl::permute_by_xor(sg, value, 16)"),
+            std::string::npos);
+  EXPECT_NE(result.source.find(
+                "hacc::xsycl::atomic_ref(accel[sg.index()], sg.counters())"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hacc::migrate

@@ -1,0 +1,162 @@
+#include "platform/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hacc::platform {
+namespace {
+
+using xsycl::CommVariant;
+
+xsycl::OpCounters sample_ops() {
+  xsycl::OpCounters ops;
+  ops.interactions = 1'000'000;
+  ops.select_words = 30'000'000;
+  ops.atomic_f32_add = 250'000;
+  return ops;
+}
+
+TEST(PlatformModels, TableOneMetadata) {
+  const auto a = aurora();
+  EXPECT_EQ(a.gpu, "Intel Data Center GPU Max 1550");
+  EXPECT_DOUBLE_EQ(a.fp32_peak_tflops, 45.9);
+  EXPECT_EQ(a.gpus_per_node, 6);
+  const auto p = polaris();
+  EXPECT_EQ(p.gpu, "NVIDIA A100-SXM4-40GB");
+  EXPECT_DOUBLE_EQ(p.fp32_peak_tflops, 19.5);
+  const auto f = frontier();
+  EXPECT_EQ(f.gpu, "AMD Instinct MI250X");
+  EXPECT_DOUBLE_EQ(f.fp32_peak_tflops, 53.0);
+  EXPECT_EQ(all_platforms().size(), 3u);
+}
+
+TEST(PlatformModels, SubGroupSupportMatchesPaper) {
+  // §4.3: AMD 32/64, Intel 16/32, NVIDIA 32 only.
+  EXPECT_EQ(aurora().subgroup_sizes, (std::vector<int>{16, 32}));
+  EXPECT_EQ(polaris().subgroup_sizes, (std::vector<int>{32}));
+  EXPECT_EQ(frontier().subgroup_sizes, (std::vector<int>{32, 64}));
+  EXPECT_TRUE(aurora().supports_visa);
+  EXPECT_FALSE(polaris().supports_visa);
+  EXPECT_FALSE(frontier().supports_visa);
+  EXPECT_FALSE(aurora().supports_cuda_hip);
+}
+
+TEST(RegisterModel, SmallerSubGroupsGetMoreRegisters) {
+  // §5.2: halving the sub-group size doubles registers per work-item.
+  const auto a = aurora();
+  EXPECT_EQ(a.regs_available(16, false), 2 * a.regs_available(32, false));
+}
+
+TEST(RegisterModel, LargeGrfDoublesRegisters) {
+  const auto a = aurora();
+  EXPECT_EQ(a.regs_available(32, true), 2 * a.regs_available(32, false));
+  // Non-Intel platforms have no large-GRF mode.
+  const auto p = polaris();
+  EXPECT_EQ(p.regs_available(32, true), p.regs_available(32, false));
+}
+
+TEST(RegisterModel, CombinedGrfAndSg16QuadruplesRegisters) {
+  // "Taken together... a 4x increase in the number of available registers
+  // per work-item" (§5.2).
+  const auto a = aurora();
+  EXPECT_EQ(a.regs_available(16, true), 4 * a.regs_available(32, false));
+}
+
+TEST(RegistersNeeded, BroadcastIsTheHungriestVariant) {
+  const auto& ks = kernel_statics("upBarAc");
+  const int select = registers_needed(ks, CommVariant::kSelect);
+  const int broadcast = registers_needed(ks, CommVariant::kBroadcast);
+  const int mem32 = registers_needed(ks, CommVariant::kMemory32);
+  EXPECT_GT(broadcast, select);
+  EXPECT_LT(mem32, select);
+}
+
+TEST(CostModel, MoreInteractionsCostMore) {
+  const auto p = polaris();
+  auto ops = sample_ops();
+  const double t1 = predict_seconds(ops, kernel_statics("upBarAc"),
+                                    CommVariant::kSelect, {}, p);
+  ops.interactions *= 2;
+  ops.select_words *= 2;
+  const double t2 = predict_seconds(ops, kernel_statics("upBarAc"),
+                                    CommVariant::kSelect, {}, p);
+  EXPECT_GT(t2, 1.9 * t1);
+}
+
+TEST(CostModel, FastMathSpeedsUpCompute) {
+  const auto p = frontier();
+  const auto ops = sample_ops();
+  TuningChoice fast, precise;
+  fast.fast_math = true;
+  precise.fast_math = false;
+  const double tf = predict_seconds(ops, kernel_statics("upBarAc"),
+                                    CommVariant::kSelect, fast, p);
+  const double tp = predict_seconds(ops, kernel_statics("upBarAc"),
+                                    CommVariant::kSelect, precise, p);
+  EXPECT_GT(tp, tf * 1.15);  // defaults vs fast math (Fig. 2)
+  EXPECT_LT(tp, tf * p.fast_math_speedup + 1e-9);
+}
+
+TEST(CostModel, SelectWordsDominateOnAurora) {
+  // The indirect-register-access penalty (Fig. 5): the same op counts cost
+  // far more communication on Aurora than on Polaris.
+  const auto ops = sample_ops();
+  const auto& ks = kernel_statics("upBarAc");
+  const auto bd_a = predict(ops, ks, CommVariant::kSelect, {}, aurora());
+  const auto bd_p = predict(ops, ks, CommVariant::kSelect, {}, polaris());
+  EXPECT_GT(bd_a.comm, 5.0 * bd_p.comm);
+}
+
+TEST(CostModel, SpillsKickInAboveRegisterBudget) {
+  const auto p = polaris();
+  const auto ops = sample_ops();
+  const auto& ks = kernel_statics("upBarDu");
+  const auto select = predict(ops, ks, CommVariant::kSelect, {}, p);
+  const auto broadcast = predict(ops, ks, CommVariant::kBroadcast, {}, p);
+  EXPECT_GT(broadcast.regs_needed, select.regs_needed);
+  EXPECT_GT(broadcast.spills, select.spills);
+  EXPECT_GT(broadcast.spills, 0.0);
+}
+
+TEST(CostModel, LargeGrfTradesOccupancyForSpills) {
+  // §5.2: 256 registers halves threads per EU; occupancy drops but spills
+  // can vanish.  Net effect must be visible in the breakdown.
+  const auto a = aurora();
+  const auto ops = sample_ops();
+  const auto& ks = kernel_statics("upBarDu");
+  TuningChoice small_grf{.sg_size = 32, .large_grf = false};
+  TuningChoice large_grf{.sg_size = 32, .large_grf = true};
+  const auto bd_small = predict(ops, ks, CommVariant::kSelect, small_grf, a);
+  const auto bd_large = predict(ops, ks, CommVariant::kSelect, large_grf, a);
+  EXPECT_GT(bd_small.spills, bd_large.spills);
+  EXPECT_LT(bd_large.occupancy, bd_small.occupancy);
+}
+
+TEST(CostModel, AtomicMinMaxCostlierOnNvidia) {
+  // §5.1: float fetch_min/max are CAS-emulated on NVIDIA.
+  EXPECT_GT(polaris().atomic_minmax_cost, polaris().atomic_add_cost * 2.0);
+  EXPECT_LE(aurora().atomic_minmax_cost, aurora().atomic_add_cost * 1.5);
+}
+
+TEST(CudaHipFactors, SomeKernelsFasterSomeSlower) {
+  // §4.4: compilers split the kernels between them.
+  int faster = 0, slower = 0;
+  for (const char* k : {"upGeo", "upCor", "upBarEx", "upBarAc", "upBarDu", "grav_pp"}) {
+    const double f = cuda_hip_kernel_factor(k);
+    (f < 1.0 ? faster : slower) += 1;
+  }
+  EXPECT_GT(faster, 0);
+  EXPECT_GT(slower, 0);
+}
+
+TEST(KernelStatics, AllPaperTimersHaveEntries) {
+  for (const char* k : {"upGeo", "upCor", "upBarEx", "upBarAc", "upBarAcF",
+                        "upBarDu", "upBarDuF", "grav_pp"}) {
+    EXPECT_GT(kernel_statics(k).flops_per_interaction, 0.0) << k;
+  }
+  // The big hydro kernels exchange the full 30-word state (states.hpp).
+  EXPECT_EQ(kernel_statics("upBarAc").state_words, 30);
+  EXPECT_EQ(kernel_statics("upCor").accum_words, 40);
+}
+
+}  // namespace
+}  // namespace hacc::platform

@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared test fixture: a jittered lattice of gas particles, the standard
+// well-sampled configuration for validating SPH discretizations.
+
+#include <cmath>
+
+#include "core/particles.hpp"
+#include "sph/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace hacc::sph::testing {
+
+struct GasOptions {
+  int n_side = 8;            // lattice cells per side
+  double box = 1.0;          // periodic box size
+  double fill = 1.0;         // fraction of box occupied by the lattice (centered)
+  double jitter = 0.2;       // position jitter in units of the lattice spacing
+  double rho0 = 1.0;         // target density
+  double u0 = 1.0;           // specific internal energy
+  double vel_amp = 0.0;      // random velocity amplitude
+  std::uint64_t seed = 1234;
+};
+
+inline core::ParticleSet make_gas(const GasOptions& opt) {
+  core::ParticleSet p;
+  const int n = opt.n_side;
+  p.resize(static_cast<std::size_t>(n) * n * n);
+  const double span = opt.box * opt.fill;
+  const double origin = 0.5 * (opt.box - span);
+  const double dx = span / n;
+  const double mass = opt.rho0 * dx * dx * dx;
+  const double h = kEta * dx;
+  util::CounterRng rng(opt.seed);
+  std::size_t i = 0;
+  for (int ix = 0; ix < n; ++ix) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int iz = 0; iz < n; ++iz, ++i) {
+        const double jx = opt.jitter * dx * (rng.uniform(6 * i) - 0.5);
+        const double jy = opt.jitter * dx * (rng.uniform(6 * i + 1) - 0.5);
+        const double jz = opt.jitter * dx * (rng.uniform(6 * i + 2) - 0.5);
+        p.x[i] = static_cast<float>(origin + (ix + 0.5) * dx + jx);
+        p.y[i] = static_cast<float>(origin + (iy + 0.5) * dx + jy);
+        p.z[i] = static_cast<float>(origin + (iz + 0.5) * dx + jz);
+        p.vx[i] = static_cast<float>(opt.vel_amp * (rng.uniform(6 * i + 3) - 0.5));
+        p.vy[i] = static_cast<float>(opt.vel_amp * (rng.uniform(6 * i + 4) - 0.5));
+        p.vz[i] = static_cast<float>(opt.vel_amp * (rng.uniform(6 * i + 5) - 0.5));
+        p.mass[i] = static_cast<float>(mass);
+        p.h[i] = static_cast<float>(h);
+        p.u[i] = static_cast<float>(opt.u0);
+      }
+    }
+  }
+  return p;
+}
+
+// True when the particle's full kernel support lies inside the lattice
+// region (no boundary truncation, no periodic wrap) — where the exact CRK
+// reproduction properties must hold.
+inline bool is_interior(const core::ParticleSet& p, std::size_t i, const GasOptions& opt) {
+  const double span = opt.box * opt.fill;
+  const double origin = 0.5 * (opt.box - span);
+  const double margin = kSupport * p.h[i] * 1.1;
+  for (const double c : {double(p.x[i]), double(p.y[i]), double(p.z[i])}) {
+    if (c < origin + margin || c > origin + span - margin) return false;
+  }
+  return true;
+}
+
+}  // namespace hacc::sph::testing

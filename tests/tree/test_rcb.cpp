@@ -1,0 +1,204 @@
+#include "tree/rcb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace hacc::tree {
+namespace {
+
+using util::Vec3d;
+
+std::vector<Vec3d> random_positions(int n, double box, std::uint64_t seed) {
+  util::CounterRng rng(seed);
+  std::vector<Vec3d> pos(n);
+  for (int i = 0; i < n; ++i) {
+    pos[i] = {box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+              box * rng.uniform(3 * i + 2)};
+  }
+  return pos;
+}
+
+double min_image_dist(const Vec3d& a, const Vec3d& b, double box) {
+  double d2 = 0.0;
+  for (int axis = 0; axis < 3; ++axis) {
+    double d = std::fabs(a[axis] - b[axis]);
+    d = std::min(d, box - d);
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+class RcbTreeParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(SizesAndLeaves, RcbTreeParam,
+                         ::testing::Combine(::testing::Values(1, 33, 200, 1000),
+                                            ::testing::Values(8, 16, 32)),
+                         [](const auto& info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) + "_leaf" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST_P(RcbTreeParam, OrderIsAPermutation) {
+  const auto [n, leaf_size] = GetParam();
+  const double box = 10.0;
+  const auto pos = random_positions(n, box, 42);
+  RcbTree tree(pos, box, leaf_size);
+  std::vector<std::int32_t> sorted = tree.order();
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(sorted[i], i);
+}
+
+TEST_P(RcbTreeParam, LeavesRespectSizeBoundAndPartitionSlots) {
+  const auto [n, leaf_size] = GetParam();
+  const double box = 10.0;
+  const auto pos = random_positions(n, box, 43);
+  RcbTree tree(pos, box, leaf_size);
+  std::int32_t covered = 0;
+  for (const auto& leaf : tree.leaves()) {
+    ASSERT_EQ(leaf.begin, covered);  // contiguous, in order
+    ASSERT_GT(leaf.count(), 0);
+    ASSERT_LE(leaf.count(), leaf_size);
+    covered = leaf.end;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST_P(RcbTreeParam, BoundingBoxesContainTheirParticles) {
+  const auto [n, leaf_size] = GetParam();
+  const double box = 10.0;
+  const auto pos = random_positions(n, box, 44);
+  RcbTree tree(pos, box, leaf_size);
+  for (const auto& leaf : tree.leaves()) {
+    for (std::int32_t k = leaf.begin; k < leaf.end; ++k) {
+      const Vec3d& p = pos[tree.order()[k]];
+      for (int a = 0; a < 3; ++a) {
+        ASSERT_GE(p[a], leaf.lo[a] - 1e-12);
+        ASSERT_LE(p[a], leaf.hi[a] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(RcbTreeParam, SlotLeafMappingConsistent) {
+  const auto [n, leaf_size] = GetParam();
+  const double box = 10.0;
+  const auto pos = random_positions(n, box, 45);
+  RcbTree tree(pos, box, leaf_size);
+  for (std::int32_t li = 0; li < static_cast<std::int32_t>(tree.leaves().size()); ++li) {
+    const auto& leaf = tree.leaves()[li];
+    for (std::int32_t k = leaf.begin; k < leaf.end; ++k) {
+      ASSERT_EQ(tree.leaf_of_slot(k), li);
+    }
+  }
+}
+
+// The critical property for the short-range solvers: every particle pair
+// within the cutoff must be covered by some interacting leaf pair.
+class RcbPairs : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, RcbPairs, ::testing::Values(0.5, 1.0, 2.0, 3.5),
+                         [](const auto& info) {
+                           const int milli = static_cast<int>(info.param * 1000);
+                           return "cut" + std::to_string(milli);
+                         });
+
+TEST_P(RcbPairs, InteractionListCoversAllClosePairsBruteForce) {
+  const double cutoff = GetParam();
+  const double box = 10.0;
+  const int n = 400;
+  const auto pos = random_positions(n, box, 46);
+  RcbTree tree(pos, box, 16);
+  const auto pairs = tree.interacting_pairs(cutoff);
+
+  std::set<std::pair<std::int32_t, std::int32_t>> listed;
+  for (const auto& lp : pairs) listed.insert({lp.a, lp.b});
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      if (min_image_dist(pos[i], pos[j], box) > cutoff) continue;
+      // Find slots, then leaves.
+      const auto slot_of = [&](int particle) {
+        const auto& ord = tree.order();
+        return static_cast<std::int32_t>(
+            std::find(ord.begin(), ord.end(), particle) - ord.begin());
+      };
+      std::int32_t la = tree.leaf_of_slot(slot_of(i));
+      std::int32_t lb = tree.leaf_of_slot(slot_of(j));
+      if (la > lb) std::swap(la, lb);
+      ASSERT_TRUE(listed.count({la, lb}))
+          << "pair (" << i << "," << j << ") in leaves (" << la << "," << lb
+          << ") missing at cutoff " << cutoff;
+    }
+  }
+}
+
+TEST_P(RcbPairs, ListedLeafPairsAreWithinCutoff) {
+  const double cutoff = GetParam();
+  const double box = 10.0;
+  const auto pos = random_positions(300, box, 47);
+  RcbTree tree(pos, box, 16);
+  for (const auto& lp : tree.interacting_pairs(cutoff)) {
+    ASSERT_LE(tree.leaf_distance(lp.a, lp.b), cutoff + 1e-12);
+    ASSERT_LE(lp.a, lp.b);
+  }
+}
+
+TEST(RcbPairsDedup, NoDuplicatePairs) {
+  const double box = 10.0;
+  const auto pos = random_positions(500, box, 48);
+  RcbTree tree(pos, box, 8);
+  const auto pairs = tree.interacting_pairs(2.0);
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (const auto& lp : pairs) {
+    ASSERT_TRUE(seen.insert({lp.a, lp.b}).second)
+        << "duplicate (" << lp.a << "," << lp.b << ")";
+  }
+}
+
+TEST(RcbPairsPeriodic, FindsPairsAcrossBoundary) {
+  // Two tight clusters on opposite faces of the box: only periodic wrap
+  // brings them within the cutoff.
+  const double box = 10.0;
+  std::vector<Vec3d> pos;
+  for (int i = 0; i < 20; ++i) {
+    pos.push_back({0.1 + 0.001 * i, 5.0, 5.0});
+    pos.push_back({9.9 - 0.001 * i, 5.0, 5.0});
+  }
+  RcbTree tree(pos, box, 8);
+  bool found_cross = false;
+  for (const auto& lp : tree.interacting_pairs(0.5)) {
+    const auto& a = tree.leaves()[lp.a];
+    const auto& b = tree.leaves()[lp.b];
+    // A cross pair spans the two clusters (one near x=0, one near x=10).
+    if ((a.hi.x < 1.0 && b.lo.x > 9.0) || (b.hi.x < 1.0 && a.lo.x > 9.0)) {
+      found_cross = true;
+    }
+  }
+  EXPECT_TRUE(found_cross);
+}
+
+TEST(RcbEdgeCases, EmptyTree) {
+  std::vector<Vec3d> pos;
+  RcbTree tree(pos, 10.0, 16);
+  EXPECT_TRUE(tree.leaves().empty());
+  EXPECT_TRUE(tree.interacting_pairs(1.0).empty());
+}
+
+TEST(RcbEdgeCases, DuplicatePositionsDoNotBreakSplit) {
+  std::vector<Vec3d> pos(100, Vec3d{5.0, 5.0, 5.0});
+  RcbTree tree(pos, 10.0, 8);
+  std::int32_t covered = 0;
+  for (const auto& leaf : tree.leaves()) {
+    ASSERT_LE(leaf.count(), 8);
+    covered += leaf.count();
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+}  // namespace
+}  // namespace hacc::tree

@@ -1,0 +1,75 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hacc::util {
+namespace {
+
+TEST(Config, ParsesKeyValuePairs) {
+  Config c;
+  ASSERT_TRUE(c.parse("np = 32\nbox_mpc = 177.0\nkernel = upGeo\n"));
+  EXPECT_EQ(c.get_int("np", 0), 32);
+  EXPECT_DOUBLE_EQ(c.get_double("box_mpc", 0.0), 177.0);
+  EXPECT_EQ(c.get_string("kernel", ""), "upGeo");
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  Config c;
+  ASSERT_TRUE(c.parse("# header comment\n\n  a = 1  # trailing\n\n#only comment\n"));
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.values().size(), 1u);
+}
+
+TEST(Config, MalformedLineFails) {
+  Config c;
+  EXPECT_FALSE(c.parse("this is not a pair\n"));
+  EXPECT_NE(c.error().find("line 1"), std::string::npos);
+}
+
+TEST(Config, EmptyKeyFails) {
+  Config c;
+  EXPECT_FALSE(c.parse(" = 3\n"));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config c;
+  ASSERT_TRUE(c.parse(""));
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(c.get_bool("missing", true));
+}
+
+TEST(Config, BoolParsing) {
+  Config c;
+  ASSERT_TRUE(c.parse("a = true\nb = 0\nc = yes\nd = off\n"));
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(Config, LaterValuesOverrideEarlier) {
+  Config c;
+  ASSERT_TRUE(c.parse("x = 1\nx = 2\n"));
+  EXPECT_EQ(c.get_int("x", 0), 2);
+}
+
+TEST(Config, CommandLineOverrides) {
+  Config c;
+  ASSERT_TRUE(c.parse("np = 16\n"));
+  const char* argv[] = {"np=64", "variant=select", "notakv", "=bad"};
+  c.apply_overrides(4, argv);
+  EXPECT_EQ(c.get_int("np", 0), 64);
+  EXPECT_EQ(c.get_string("variant", ""), "select");
+  EXPECT_FALSE(c.has("notakv"));
+}
+
+TEST(Config, NonNumericFallsBack) {
+  Config c;
+  ASSERT_TRUE(c.parse("word = hello\n"));
+  EXPECT_EQ(c.get_int("word", -3), -3);
+}
+
+}  // namespace
+}  // namespace hacc::util

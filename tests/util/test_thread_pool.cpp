@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hacc::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleIteration) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::int64_t i) {
+    EXPECT_EQ(i, 0);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedRangesAreDisjointAndComplete) {
+  ThreadPool pool(4);
+  constexpr std::int64_t n = 1237;  // deliberately not a multiple of the chunk
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_chunks(n, 64, [&](std::int64_t b, std::int64_t e) {
+    ASSERT_LT(b, e);
+    ASSERT_LE(e, n);
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(6);
+  constexpr std::int64_t n = 100'000;
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for_chunks(n, 1000, [&](std::int64_t b, std::int64_t e) {
+    std::int64_t local = 0;
+    for (std::int64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmissions) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(100, [&](std::int64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(1000, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hacc::util

@@ -1,0 +1,71 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hacc::util {
+namespace {
+
+TEST(TimerRegistry, AccumulatesSecondsAndCalls) {
+  TimerRegistry reg;
+  reg.add("upGeo", 0.5);
+  reg.add("upGeo", 0.25);
+  const auto e = reg.get("upGeo");
+  EXPECT_DOUBLE_EQ(e.seconds, 0.75);
+  EXPECT_EQ(e.calls, 2u);
+}
+
+TEST(TimerRegistry, UnknownTimerIsZero) {
+  TimerRegistry reg;
+  const auto e = reg.get("nonexistent");
+  EXPECT_DOUBLE_EQ(e.seconds, 0.0);
+  EXPECT_EQ(e.calls, 0u);
+}
+
+TEST(TimerRegistry, TotalOverNames) {
+  TimerRegistry reg;
+  reg.add("upBarAc", 1.0);
+  reg.add("upBarAcF", 2.0);
+  reg.add("upBarDu", 4.0);
+  EXPECT_DOUBLE_EQ(reg.total({"upBarAc", "upBarAcF"}), 3.0);
+  EXPECT_DOUBLE_EQ(reg.total({"upBarAc", "upBarAcF", "upBarDu", "missing"}), 7.0);
+}
+
+TEST(TimerRegistry, EntriesSortedByName) {
+  TimerRegistry reg;
+  reg.add("b", 1.0);
+  reg.add("a", 2.0);
+  const auto entries = reg.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "a");
+  EXPECT_EQ(entries[1].first, "b");
+}
+
+TEST(TimerRegistry, ResetClearsEverything) {
+  TimerRegistry reg;
+  reg.add("x", 1.0);
+  reg.reset();
+  EXPECT_TRUE(reg.entries().empty());
+}
+
+TEST(ScopedTimer, BracketsAnOperation) {
+  TimerRegistry reg;
+  {
+    ScopedTimer t(reg, "op");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto e = reg.get("op");
+  EXPECT_EQ(e.calls, 1u);
+  EXPECT_GE(e.seconds, 0.004);
+  EXPECT_LT(e.seconds, 5.0);
+}
+
+TEST(Wtime, IsMonotonic) {
+  const double a = wtime();
+  const double b = wtime();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace hacc::util

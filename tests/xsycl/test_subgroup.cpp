@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "xsycl/group_algorithms.hpp"
+
+namespace hacc::xsycl {
+namespace {
+
+using testing::StandaloneSubGroup;
+
+TEST(SubGroup, ExposesSizeHalfAndIndex) {
+  StandaloneSubGroup ctx(32);
+  EXPECT_EQ(ctx.sg.size(), 32);
+  EXPECT_EQ(ctx.sg.half(), 16);
+  EXPECT_EQ(ctx.sg.index(), 0u);
+}
+
+TEST(SubGroup, BarrierIsCounted) {
+  StandaloneSubGroup ctx(16);
+  ctx.sg.barrier();
+  ctx.sg.barrier();
+  EXPECT_EQ(ctx.counters.barriers, 2u);
+}
+
+TEST(SubGroup, LocalArenaSliceVisible) {
+  StandaloneSubGroup ctx(16, 256);
+  EXPECT_EQ(ctx.sg.local().size(), 256u);
+  ctx.sg.local()[0] = std::byte{42};
+  EXPECT_EQ(ctx.arena[0], std::byte{42});
+}
+
+TEST(SubGroupGather, ReadsOnlyActiveLanes) {
+  StandaloneSubGroup ctx(16);
+  const float base[8] = {10, 11, 12, 13, 14, 15, 16, 17};
+  Varying<std::int32_t> idx;
+  Varying<bool> active;
+  for (int l = 0; l < 16; ++l) {
+    idx[l] = l % 8;
+    active[l] = l < 8;
+  }
+  const auto out = gather(ctx.sg, base, idx, active);
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(out[l], 10.f + l);
+  EXPECT_EQ(ctx.counters.global_loads, 16u);  // inactive lanes still occupy slots
+}
+
+TEST(SubGroupScatter, WritesOnlyActiveLanes) {
+  StandaloneSubGroup ctx(8);
+  float out[8] = {};
+  Varying<std::int32_t> idx;
+  Varying<float> val;
+  Varying<bool> active;
+  for (int l = 0; l < 8; ++l) {
+    idx[l] = l;
+    val[l] = float(l + 1);
+    active[l] = l % 2 == 0;
+  }
+  scatter(ctx.sg, out, idx, val, active);
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_EQ(out[l], l % 2 == 0 ? float(l + 1) : 0.f) << l;
+  }
+}
+
+TEST(BroadcastObject, CountsWordsOfCompositeType) {
+  struct Obj {
+    float v[7];
+  };
+  StandaloneSubGroup ctx(32);
+  Varying<Obj> x;
+  x[5].v[3] = 1.25f;
+  const Obj got = broadcast_object(ctx.sg, x, 5);
+  EXPECT_EQ(got.v[3], 1.25f);
+  EXPECT_EQ(ctx.counters.broadcast_ops, 7u);
+}
+
+TEST(OpCounters, MergeAccumulatesEveryField) {
+  OpCounters a, b;
+  a.select_ops = 1;
+  a.interactions = 10;
+  a.atomic_f32_add = 3;
+  b.select_ops = 2;
+  b.interactions = 20;
+  b.localobj_bytes = 64;
+  b.butterfly_words = 8;
+  a.merge(b);
+  EXPECT_EQ(a.select_ops, 3u);
+  EXPECT_EQ(a.interactions, 30u);
+  EXPECT_EQ(a.localobj_bytes, 64u);
+  EXPECT_EQ(a.butterfly_words, 8u);
+  EXPECT_EQ(a.atomic_f32_add, 3u);
+}
+
+TEST(OpCounters, SummaryMentionsKeyFields) {
+  OpCounters c;
+  c.interactions = 42;
+  c.select_words = 7;
+  const auto s = c.summary();
+  EXPECT_NE(s.find("interactions=42"), std::string::npos);
+  EXPECT_NE(s.find("select_words=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hacc::xsycl

@@ -1,0 +1,41 @@
+#include "xsycl/varying.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hacc::xsycl {
+namespace {
+
+TEST(Varying, DefaultValueInitialized) {
+  Varying<float> v;
+  for (int l = 0; l < kMaxLanes; ++l) EXPECT_EQ(v[l], 0.0f);
+}
+
+TEST(Varying, UniformConstructorFillsAllLanes) {
+  Varying<int> v(7);
+  for (int l = 0; l < kMaxLanes; ++l) EXPECT_EQ(v[l], 7);
+}
+
+TEST(Varying, LaneWriteIsIsolated) {
+  Varying<int> v(0);
+  v[5] = 42;
+  EXPECT_EQ(v[5], 42);
+  EXPECT_EQ(v[4], 0);
+  EXPECT_EQ(v[6], 0);
+}
+
+TEST(Varying, HoldsTriviallyCopyableStructs) {
+  struct P {
+    float x, y, z;
+  };
+  Varying<P> v;
+  v[3] = {1.f, 2.f, 3.f};
+  EXPECT_EQ(v[3].y, 2.f);
+}
+
+TEST(Varying, MaxLanesMatchesWidestWavefront) {
+  // AMD wavefronts are 64 wide (paper §4.3); the emulation must hold them.
+  EXPECT_EQ(kMaxLanes, 64);
+}
+
+}  // namespace
+}  // namespace hacc::xsycl
