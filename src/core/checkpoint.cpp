@@ -1,6 +1,7 @@
 #include "core/checkpoint.hpp"
 
 #include <fstream>
+#include <type_traits>
 
 namespace hacc::core {
 
@@ -33,6 +34,21 @@ void for_each_field(PS& p, Fn fn) {
   fn(p.dvel);
 }
 
+// Serialized bytes per particle, derived from the field list itself so the
+// bound stays in sync with the schema.
+std::size_t per_particle_bytes() {
+  static const std::size_t bytes = [] {
+    ParticleSet one;
+    one.resize(1);
+    std::size_t b = 0;
+    for_each_field(one, [&b](const auto& v) {
+      b += v.size() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+    });
+    return b;
+  }();
+  return bytes;
+}
+
 }  // namespace
 
 bool write_checkpoint(const std::string& path, const ParticleSet& p, double box,
@@ -52,9 +68,20 @@ bool read_checkpoint(const std::string& path, ParticleSet& p, double& box,
                      double& scale_factor) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return false;
+  f.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(f.tellg());
+  f.seekg(0, std::ios::beg);
   CheckpointHeader hdr;
   f.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
   if (!f || hdr.magic != CheckpointHeader{}.magic || hdr.version != 1) return false;
+  // Never trust the on-disk particle count blindly: a corrupt or truncated
+  // header would otherwise trigger a multi-GB resize.  The payload size the
+  // header implies must match what is actually on disk.
+  const std::uint64_t payload = file_size - sizeof(hdr);
+  if (payload % per_particle_bytes() != 0 ||
+      hdr.n_particles != payload / per_particle_bytes()) {
+    return false;
+  }
   p.resize(hdr.n_particles);
   box = hdr.box;
   scale_factor = hdr.scale_factor;

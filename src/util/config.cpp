@@ -1,5 +1,6 @@
 #include "util/config.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -13,6 +14,19 @@ std::string trim(const std::string& s) {
   if (b == std::string::npos) return "";
   const auto e = s.find_last_not_of(" \t\r\n");
   return s.substr(b, e - b + 1);
+}
+
+// A command-line override key: what appears left of '=' in `key=value`.
+// Rejecting path-ish characters keeps an argv[0] program path that happens
+// to contain '=' (e.g. "./run=prod/app") from being ingested as an override.
+bool is_override_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -60,7 +74,9 @@ void Config::apply_overrides(int argc, const char* const* argv) {
     const std::string arg = argv[i];
     const auto eq = arg.find('=');
     if (eq == std::string::npos || eq == 0) continue;
-    values_[trim(arg.substr(0, eq))] = trim(arg.substr(eq + 1));
+    const std::string key = trim(arg.substr(0, eq));
+    if (!is_override_key(key)) continue;
+    values_[key] = trim(arg.substr(eq + 1));
   }
 }
 
@@ -69,11 +85,24 @@ std::string Config::get_string(const std::string& key, const std::string& fallba
   return fallback;
 }
 
+namespace {
+
+// After strtol/strtod consume a prefix, only trailing whitespace may remain
+// (set() stores values verbatim); anything else ("10abc") is garbage.
+bool fully_numeric(const char* begin, const char* end) {
+  if (end == begin) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r' || *end == '\n') ++end;
+  return *end == '\0';
+}
+
+}  // namespace
+
 long Config::get_int(const std::string& key, long fallback) const {
   if (auto it = values_.find(key); it != values_.end()) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(it->second.c_str(), &end, 10);
-    if (end != it->second.c_str()) return v;
+    if (errno != ERANGE && fully_numeric(it->second.c_str(), end)) return v;
   }
   return fallback;
 }
@@ -81,8 +110,9 @@ long Config::get_int(const std::string& key, long fallback) const {
 double Config::get_double(const std::string& key, double fallback) const {
   if (auto it = values_.find(key); it != values_.end()) {
     char* end = nullptr;
+    errno = 0;
     const double v = std::strtod(it->second.c_str(), &end);
-    if (end != it->second.c_str()) return v;
+    if (errno != ERANGE && fully_numeric(it->second.c_str(), end)) return v;
   }
   return fallback;
 }

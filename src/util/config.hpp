@@ -18,7 +18,9 @@ class Config {
   bool parse(const std::string& text);
   bool parse_file(const std::string& path);
 
-  // Command-line overrides of the form key=value (argv-style).
+  // Command-line overrides of the form key=value (argv-style).  Callers
+  // typically pass (argc - 1, argv + 1); arguments that do not look like
+  // key=value (including a program path containing '=') are skipped.
   void apply_overrides(int argc, const char* const* argv);
 
   bool has(const std::string& key) const { return values_.count(key) != 0; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 
@@ -89,6 +90,52 @@ TEST_F(CheckpointTest, TruncatedFileRejected) {
   in.close();
   std::ofstream out(path_, std::ios::binary | std::ios::trunc);
   out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+  ParticleSet q;
+  double box, a;
+  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+}
+
+TEST_F(CheckpointTest, WrongVersionRejected) {
+  const auto p = random_particles(16, 8);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(offsetof(CheckpointHeader, version));
+    const std::uint32_t bad_version = 2;
+    f.write(reinterpret_cast<const char*>(&bad_version), sizeof(bad_version));
+  }
+  ParticleSet q;
+  double box, a;
+  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+}
+
+TEST_F(CheckpointTest, HugeHeaderCountRejectedWithoutAllocation) {
+  const auto p = random_particles(16, 9);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(offsetof(CheckpointHeader, n_particles));
+    // Claims a multi-GB payload; the reader must bound the count against the
+    // actual file size instead of resizing to it.
+    const std::uint64_t huge = 1ull << 40;
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  ParticleSet q;
+  double box, a;
+  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST_F(CheckpointTest, HeaderOnlyFileRejected) {
+  const auto p = random_particles(16, 10);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  // Truncate to just short of the full header.
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(sizeof(CheckpointHeader) - 1));
   out.close();
   ParticleSet q;
   double box, a;

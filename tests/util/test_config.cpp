@@ -71,5 +71,44 @@ TEST(Config, NonNumericFallsBack) {
   EXPECT_EQ(c.get_int("word", -3), -3);
 }
 
+TEST(Config, TrailingGarbageRejected) {
+  Config c;
+  ASSERT_TRUE(c.parse("steps = 10abc\nbox = 3.5mpc\nneg = -2x\n"));
+  EXPECT_EQ(c.get_int("steps", -1), -1);
+  EXPECT_DOUBLE_EQ(c.get_double("box", -1.0), -1.0);
+  EXPECT_EQ(c.get_int("neg", -1), -1);
+}
+
+TEST(Config, OutOfRangeRejected) {
+  Config c;
+  ASSERT_TRUE(c.parse("big = 99999999999999999999999\nhuge = 1e999\n"));
+  EXPECT_EQ(c.get_int("big", -1), -1);
+  EXPECT_DOUBLE_EQ(c.get_double("huge", -1.0), -1.0);
+}
+
+TEST(Config, CleanNumbersStillParse) {
+  Config c;
+  ASSERT_TRUE(c.parse("steps = 10\nbox = 3.5\nexp = 1e3\nneg = -7\n"));
+  EXPECT_EQ(c.get_int("steps", -1), 10);
+  EXPECT_DOUBLE_EQ(c.get_double("box", -1.0), 3.5);
+  EXPECT_DOUBLE_EQ(c.get_double("exp", -1.0), 1000.0);
+  EXPECT_EQ(c.get_int("neg", 0), -7);
+  // set() stores verbatim; surrounding whitespace must still parse.
+  c.set("padded", " 10 ");
+  EXPECT_EQ(c.get_int("padded", -1), 10);
+  EXPECT_DOUBLE_EQ(c.get_double("padded", -1.0), 10.0);
+}
+
+TEST(Config, ProgramPathWithEqualsNotIngested) {
+  Config c;
+  // Full argv including argv[0]: a program path containing '=' must not
+  // become a config override, while real key=value arguments still apply.
+  const char* argv[] = {"./out/run=prod/standalone_kernel", "np=8"};
+  c.apply_overrides(2, argv);
+  EXPECT_FALSE(c.has("./out/run"));
+  EXPECT_EQ(c.values().size(), 1u);
+  EXPECT_EQ(c.get_int("np", 0), 8);
+}
+
 }  // namespace
 }  // namespace hacc::util
