@@ -1,0 +1,184 @@
+// Tree-multipole gravity ablation: backend wall-clock across N (the far
+// field must beat the all-pairs PP evaluation from 32^3 particles up) and
+// the theta accuracy/work trade-off that picks the default opening angle.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fmm/fmm.hpp"
+#include "gravity/pp_short.hpp"
+#include "tree/rcb.hpp"
+#include "util/rng.hpp"
+#include "xsycl/queue.hpp"
+
+namespace {
+
+using namespace hacc;
+using util::Vec3d;
+
+constexpr double kBox = 25.0;
+// Leaf sizes trade MAC granularity against half-warp tile occupancy: the
+// timed path keeps sub-groups full, the accuracy table wants the finest
+// far-field granularity the MAC can exploit at small N.
+constexpr int kFmmLeaf = 16;
+constexpr int kSummaryLeaf = 8;
+
+std::vector<Vec3d> random_positions(int n, double box) {
+  const util::CounterRng rng(7);
+  std::vector<Vec3d> pos(n);
+  for (int i = 0; i < n; ++i) {
+    pos[i] = {box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+              box * rng.uniform(3 * i + 2)};
+  }
+  return pos;
+}
+
+struct GravityFixture {
+  std::vector<Vec3d> pos;
+  std::vector<double> mass;
+  std::vector<float> x, y, z, m, ax, ay, az;
+  gravity::PolyShortForce poly = gravity::PolyShortForce::newtonian(kBox);
+
+  explicit GravityFixture(int n) : pos(random_positions(n, kBox)), mass(n, 1.0) {
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    m.assign(n, 1.f);
+    ax.assign(n, 0.f);
+    ay.assign(n, 0.f);
+    az.assign(n, 0.f);
+    for (int i = 0; i < n; ++i) {
+      x[i] = float(pos[i].x);
+      y[i] = float(pos[i].y);
+      z[i] = float(pos[i].z);
+    }
+  }
+
+  gravity::GravityArrays arrays() {
+    return {x.data(), y.data(), z.data(), m.data(),
+            ax.data(), ay.data(), az.data(), x.size()};
+  }
+
+  void zero() {
+    std::fill(ax.begin(), ax.end(), 0.f);
+    std::fill(ay.begin(), ay.end(), 0.f);
+    std::fill(az.begin(), az.end(), 0.f);
+  }
+};
+
+gravity::PpOptions pp_options() {
+  gravity::PpOptions opt;
+  opt.box = float(kBox);
+  opt.G = 1.0f;
+  opt.softening = 0.05f;
+  return opt;
+}
+
+// Baseline: every leaf pair evaluated directly (a one-box cutoff lists all
+// pairs under the minimum image) — the O(N^2) cost the tree removes.
+void BM_AllPairsPp(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const int n = side * side * side;
+  GravityFixture fx(n);
+  util::ThreadPool pool;
+  xsycl::Queue q(pool);
+  const tree::RcbTree tr(fx.pos, kBox, 32);
+  const auto pairs = tr.interacting_pairs(kBox);
+  std::uint64_t interactions = 0;
+  for (auto _ : state) {
+    fx.zero();
+    const auto stats = run_pp_short(q, fx.arrays(), tr, pairs, fx.poly, pp_options());
+    interactions += stats.ops.interactions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(interactions));
+  state.SetLabel("N=" + std::to_string(side) + "^3, " +
+                 std::to_string(pairs.size()) + " leaf pairs");
+}
+BENCHMARK(BM_AllPairsPp)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Full tree-multipole evaluation: tree build + upward pass + MAC traversal
+// + near-field PP + far-field M2P, end to end.
+void BM_FmmGravity(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const double theta = state.range(1) / 100.0;
+  const int n = side * side * side;
+  GravityFixture fx(n);
+  util::ThreadPool pool;
+  xsycl::Queue q(pool);
+  std::uint64_t interactions = 0, m2p = 0;
+  std::size_t near_pairs = 0, far_entries = 0;
+  for (auto _ : state) {
+    fx.zero();
+    const tree::RcbTree tr(fx.pos, kBox, kFmmLeaf);
+    const fmm::FmmEvaluator ev(tr, fx.pos, fx.mass, pool);
+    const auto lists =
+        ev.build_interactions(theta, std::numeric_limits<double>::infinity());
+    const auto stats = run_pp_short(q, fx.arrays(), tr, lists.near, fx.poly,
+                                    pp_options(), "bench_fmm_near");
+    const auto far = ev.evaluate_far(lists, fx.arrays(),
+                                     {kBox, 1.0, 0.05, nullptr});
+    interactions += stats.ops.interactions;
+    m2p += far.m2p_ops;
+    near_pairs = lists.near.size();
+    far_entries = lists.far_entries();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(interactions + m2p));
+  state.SetLabel("N=" + std::to_string(side) + "^3 theta=" +
+                 std::to_string(theta).substr(0, 4) + ", near " +
+                 std::to_string(near_pairs) + " pairs, far " +
+                 std::to_string(far_entries) + " entries");
+}
+BENCHMARK(BM_FmmGravity)
+    ->Args({16, 50})
+    ->Args({32, 30})
+    ->Args({32, 50})
+    ->Args({32, 80})
+    ->Unit(benchmark::kMillisecond);
+
+// Accuracy table: relative RMS force error against the all-pairs reference
+// across opening angles, at a size where the O(N^2) reference is cheap.
+void print_summary() {
+  bench::print_header("Tree-multipole far field: theta accuracy/work trade-off");
+  const int n = 16 * 16 * 16;
+  GravityFixture ref_fx(n);
+  reference_pp_short(ref_fx.arrays(), ref_fx.poly, float(kBox), 1.0f, 0.05f);
+
+  util::ThreadPool pool;
+  xsycl::Queue q(pool);
+  std::printf("%-7s %14s %12s %12s %14s\n", "theta", "rel RMS err", "near pairs",
+              "far entries", "m2p ops");
+  for (const double theta : {0.3, 0.5, 0.8, 1.0}) {
+    GravityFixture fx(n);
+    const tree::RcbTree tr(fx.pos, kBox, kSummaryLeaf);
+    const fmm::FmmEvaluator ev(tr, fx.pos, fx.mass, pool);
+    const auto lists =
+        ev.build_interactions(theta, std::numeric_limits<double>::infinity());
+    run_pp_short(q, fx.arrays(), tr, lists.near, fx.poly, pp_options(),
+                 "bench_fmm_near");
+    const auto far = ev.evaluate_far(lists, fx.arrays(), {kBox, 1.0, 0.05, nullptr});
+    double num = 0.0, den = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double dx = double(fx.ax[i]) - ref_fx.ax[i];
+      const double dy = double(fx.ay[i]) - ref_fx.ay[i];
+      const double dz = double(fx.az[i]) - ref_fx.az[i];
+      num += dx * dx + dy * dy + dz * dz;
+      den += double(ref_fx.ax[i]) * ref_fx.ax[i] +
+             double(ref_fx.ay[i]) * ref_fx.ay[i] +
+             double(ref_fx.az[i]) * ref_fx.az[i];
+    }
+    std::printf("%-7.2f %14.3e %12zu %12llu %14llu\n", theta, std::sqrt(num / den),
+                lists.near.size(), (unsigned long long)lists.far_entries(),
+                (unsigned long long)far.m2p_ops);
+  }
+  std::printf(
+      "\nNear pairs run through the half-warp PP kernel; far entries are\n"
+      "(leaf, source-node) multipole interactions.  Pairs straddling the\n"
+      "half-box minimum-image discontinuity always stay in the near field,\n"
+      "which bounds the achievable far fraction in a periodic box.\n");
+}
+
+}  // namespace
+
+HACC_BENCH_MAIN(print_summary)

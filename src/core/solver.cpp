@@ -2,8 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 namespace hacc::core {
+
+const char* to_string(GravityBackend backend) {
+  switch (backend) {
+    case GravityBackend::kPmPp:
+      return "pm_pp";
+    case GravityBackend::kFmm:
+      return "fmm";
+    case GravityBackend::kTreePm:
+      return "treepm";
+  }
+  return "pm_pp";
+}
+
+bool parse_gravity_backend(const std::string& name, GravityBackend& out) {
+  if (name == "pm_pp") {
+    out = GravityBackend::kPmPp;
+  } else if (name == "fmm") {
+    out = GravityBackend::kFmm;
+  } else if (name == "treepm") {
+    out = GravityBackend::kTreePm;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace {
 
@@ -25,14 +52,22 @@ Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
   const double a_final = ic::Cosmology::a_of_z(cfg_.z_final);
   da_ = (a_final - a_) / cfg_.n_steps;
 
-  gravity::PmOptions pm_opt;
-  pm_opt.grid_n = cfg_.pm_grid;
-  pm_opt.box = cfg_.box;
-  pm_opt.r_split = cfg_.r_split_cells * cfg_.box / cfg_.pm_grid;
-  pm_opt.G = 1.0;  // rescaled per evaluation
-  pm_ = std::make_unique<gravity::PmSolver>(pm_opt, pool);
-  poly_ = std::make_unique<gravity::PolyShortForce>(
-      pm_opt.r_split, cfg_.pp_cut_factor * pm_opt.r_split, cfg_.poly_order);
+  if (cfg_.gravity_backend == GravityBackend::kFmm) {
+    // Mesh-free: the multipole far field replaces the PM solve, so the near
+    // field is plain softened Newton and the cutoff only needs to cover the
+    // largest possible minimum-image separation (sqrt(3)/2 * box).
+    poly_ = std::make_unique<gravity::PolyShortForce>(
+        gravity::PolyShortForce::newtonian(cfg_.box));
+  } else {
+    gravity::PmOptions pm_opt;
+    pm_opt.grid_n = cfg_.pm_grid;
+    pm_opt.box = cfg_.box;
+    pm_opt.r_split = cfg_.r_split_cells * cfg_.box / cfg_.pm_grid;
+    pm_opt.G = 1.0;  // rescaled per evaluation
+    pm_ = std::make_unique<gravity::PmSolver>(pm_opt, pool);
+    poly_ = std::make_unique<gravity::PolyShortForce>(
+        pm_opt.r_split, cfg_.pp_cut_factor * pm_opt.r_split, cfg_.poly_order);
+  }
 }
 
 void Solver::initialize() {
@@ -141,28 +176,67 @@ void Solver::compute_forces(bool corrector) {
   // with rhobar = 1 by the mass normalization. ----
   assemble_gravity_inputs();
   const double g_code = 3.0 * cfg_.cosmo.omega_m / (8.0 * M_PI * a_);
-  {
+  if (pm_) {
     util::ScopedTimer t(timers_, "grav_pm");
     pm_->set_gravitational_constant(g_code);
     pm_->compute_forces(grav_pos_, grav_mass_d_, grav_accel_pm_);
+  } else {
+    std::fill(grav_accel_pm_.begin(), grav_accel_pm_.end(), util::Vec3d{});
   }
-  {
+
+  const gravity::GravityArrays arrays{grav_x_.data(),  grav_y_.data(),  grav_z_.data(),
+                                      grav_mass_.data(), grav_ax_.data(), grav_ay_.data(),
+                                      grav_az_.data(),  grav_x_.size()};
+  gravity::PpOptions ppopt;
+  ppopt.box = static_cast<float>(cfg_.box);
+  ppopt.G = static_cast<float>(g_code);
+  ppopt.softening = static_cast<float>(cfg_.softening_cells * cfg_.box / cfg_.pm_grid);
+  ppopt.variant = cfg_.variants.gravity;
+  ppopt.launch.sub_group_size = cfg_.sub_group_size;
+  ppopt.launch.sg_per_wg = cfg_.sg_per_wg;
+
+  if (cfg_.gravity_backend == GravityBackend::kPmPp) {
     util::ScopedTimer t(timers_, "grav_pp");
     const tree::RcbTree gtree(grav_pos_, cfg_.box, cfg_.leaf_size);
     const auto gpairs = gtree.interacting_pairs(poly_->r_cut());
-    gravity::GravityArrays arrays{grav_x_.data(),  grav_y_.data(),  grav_z_.data(),
-                                  grav_mass_.data(), grav_ax_.data(), grav_ay_.data(),
-                                  grav_az_.data(),  grav_x_.size()};
-    gravity::PpOptions ppopt;
-    ppopt.box = static_cast<float>(cfg_.box);
-    ppopt.G = static_cast<float>(g_code);
-    ppopt.softening = static_cast<float>(cfg_.softening_cells * cfg_.box / cfg_.pm_grid);
-    ppopt.variant = cfg_.variants.gravity;
-    ppopt.launch.sub_group_size = cfg_.sub_group_size;
-    ppopt.launch.sg_per_wg = cfg_.sg_per_wg;
     run_pp_short(queue_, arrays, gtree, gpairs, *poly_, ppopt);
+  } else {
+    const bool treepm = cfg_.gravity_backend == GravityBackend::kTreePm;
+    const double r_cut =
+        treepm ? poly_->r_cut() : std::numeric_limits<double>::infinity();
+    std::optional<tree::RcbTree> gtree;
+    std::optional<fmm::FmmEvaluator> evaluator;
+    fmm::InteractionLists lists;
+    {
+      util::ScopedTimer t(timers_, "grav_fmm");
+      gtree.emplace(grav_pos_, cfg_.box, cfg_.leaf_size);
+      evaluator.emplace(*gtree, grav_pos_, grav_mass_d_, *pool_);
+      lists = evaluator->build_interactions(cfg_.fmm_theta, r_cut);
+    }
+    {
+      util::ScopedTimer t(timers_, "grav_pp");
+      run_pp_short(queue_, arrays, *gtree, lists.near, *poly_, ppopt);
+    }
+    {
+      util::ScopedTimer t(timers_, "grav_far");
+      fmm::FarOptions fopt;
+      fopt.box = cfg_.box;
+      fopt.G = g_code;
+      fopt.softening = ppopt.softening;
+      fopt.poly = treepm ? poly_.get() : nullptr;
+      evaluator->evaluate_far(lists, arrays, fopt, &fmm_ops_);
+    }
   }
   forces_ready_ = true;
+}
+
+std::vector<util::Vec3d> Solver::gravity_accelerations() const {
+  std::vector<util::Vec3d> acc(grav_ax_.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = grav_accel_pm_[i] +
+             util::Vec3d{grav_ax_[i], grav_ay_[i], grav_az_[i]};
+  }
+  return acc;
 }
 
 void Solver::kick(double k_factor, double a_for_grav) {

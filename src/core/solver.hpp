@@ -15,8 +15,10 @@
 // hydro forces act directly on v.
 
 #include <memory>
+#include <string>
 
 #include "core/particles.hpp"
+#include "fmm/fmm.hpp"
 #include "gravity/pm.hpp"
 #include "gravity/pp_short.hpp"
 #include "ic/cosmology.hpp"
@@ -44,6 +46,21 @@ struct VariantSelection {
   }
 };
 
+// Selectable gravity solver:
+//   kPmPp   — spectral PM long range + direct particle-particle short range
+//             over RCB leaf pairs (the paper's configuration).
+//   kFmm    — mesh-free tree multipoles: near field direct, far field via
+//             monopole+quadrupole M2P under the minimum-image convention.
+//   kTreePm — PM long range + MAC-accelerated short range: close leaf pairs
+//             direct, the rest of the cutoff sphere via multipoles.
+enum class GravityBackend { kPmPp, kFmm, kTreePm };
+
+const char* to_string(GravityBackend backend);
+
+// Parses "pm_pp" | "fmm" | "treepm"; returns false (out untouched) for
+// unknown names — the util::Config wiring used by examples and tools.
+bool parse_gravity_backend(const std::string& name, GravityBackend& out);
+
 struct SimConfig {
   int np_side = 12;             // particles per side, per species
   double box = 25.0;            // comoving box (code length units)
@@ -64,6 +81,9 @@ struct SimConfig {
   double pp_cut_factor = 5.0;   // short-range cutoff in units of r_split
   int poly_order = 5;           // HACC_CUDA_POLY_ORDER
   double softening_cells = 0.2;
+
+  GravityBackend gravity_backend = GravityBackend::kPmPp;
+  double fmm_theta = 0.5;  // multipole opening angle for fmm/treepm
 
   VariantSelection variants;
   int sub_group_size = 32;  // HACC_SYCL_SG_SIZE
@@ -97,6 +117,14 @@ class Solver {
 
   util::TimerRegistry& timers() { return timers_; }
   xsycl::Queue& queue() { return queue_; }
+
+  // Combined-species (dm then gas) gravity accelerations from the most
+  // recent force evaluation: long-range mesh (zero for the fmm backend)
+  // plus short-range/far-field tree contributions.
+  std::vector<util::Vec3d> gravity_accelerations() const;
+
+  // Far-field M2P work performed by the fmm/treepm backends so far.
+  const xsycl::OpCounters& fmm_ops() const { return fmm_ops_; }
 
   struct Diagnostics {
     double total_mass = 0.0;
@@ -136,6 +164,7 @@ class Solver {
   std::vector<float> grav_ax_, grav_ay_, grav_az_;
   std::unique_ptr<gravity::PmSolver> pm_;
   std::unique_ptr<gravity::PolyShortForce> poly_;
+  xsycl::OpCounters fmm_ops_;
 };
 
 }  // namespace hacc::core

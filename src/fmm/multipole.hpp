@@ -1,0 +1,77 @@
+#pragma once
+
+// Cartesian multipole expansions (monopole + second moment) for the tree
+// far-field gravity solver.  The dipole vanishes identically because every
+// expansion is taken about its node's center of mass, so the leading
+// truncation error of an M2P evaluation is the octupole, O((s/r)^3)
+// relative to the monopole — the property that lets an opening angle of
+// theta = 0.5 reach ~1e-4..1e-3 relative force accuracy.
+//
+// The raw second moment M2 = sum m x xT (not the traceless quadrupole) is
+// stored so quadrupole-order evaluations work for ANY radial force profile
+// g(r), not just Newton: expanding F = sum_j m_j g(|v - x_j|) (v - x_j)
+// about the center of mass gives
+//   F ~= M g(r) v + A (M2 v) + (A tr M2 / 2) v + (B v.M2.v / 2) v
+// with A = g'(r)/r and B = (g''(r) - g'(r)/r)/r^2 — the form both the
+// Newton M2P below and the truncated TreePM profile evaluation use.
+
+#include <cmath>
+#include <span>
+
+#include "util/vec3.hpp"
+
+namespace hacc::fmm {
+
+struct Multipole {
+  double mass = 0.0;
+  util::Vec3d com;   // center of mass
+  util::Sym3d m2;    // second moment sum m x xT, x about com
+};
+
+// P2M: expansion of a particle set about its own center of mass.
+inline Multipole p2m(std::span<const util::Vec3d> pos, std::span<const double> mass) {
+  Multipole mp;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    mp.mass += mass[i];
+    mp.com += mass[i] * pos[i];
+  }
+  if (mp.mass > 0.0) mp.com /= mp.mass;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    mp.m2 += util::Sym3d::outer(pos[i] - mp.com) * mass[i];
+  }
+  return mp;
+}
+
+// M2M: translate a child expansion onto the combined center of mass and
+// accumulate it.  Shifting the second moment by d adds the point-mass term
+// of the child's total mass at d (the child's dipole is zero about its com).
+inline void m2m_accumulate(Multipole& parent, const Multipole& child) {
+  parent.mass += child.mass;
+  parent.m2 += child.m2 + util::Sym3d::outer(child.com - parent.com) * child.mass;
+}
+
+// Combined center of mass of two expansions (needed before m2m_accumulate).
+inline util::Vec3d combined_com(const Multipole& a, const Multipole& b) {
+  const double m = a.mass + b.mass;
+  if (m <= 0.0) return a.com;
+  return (a.mass * a.com + b.mass * b.com) / m;
+}
+
+// M2P for Newton gravity: acceleration per unit G at displacement
+// d = x_target - com, with Plummer softening eps^2 folded into every power
+// of r like the particle-particle kernel.  This is the general quadrupole
+// form above specialized to g = -1/r^3 (A = 3/r^5, B = -15/r^7); in
+// traceless-quadrupole notation it is the familiar
+//   a = -M d/r^3 + (Q d)/r^5 - (5/2) (d.Q.d) d / r^7.
+inline util::Vec3d m2p(const Multipole& mp, const util::Vec3d& d, double eps2) {
+  const double r2 = norm2(d) + eps2;
+  const double inv_r2 = 1.0 / r2;
+  const double inv_r3 = inv_r2 / std::sqrt(r2);
+  const double inv_r5 = inv_r3 * inv_r2;
+  const util::Vec3d m2d = mp.m2 * d;
+  const double tr = mp.m2.xx + mp.m2.yy + mp.m2.zz;
+  return (-mp.mass * inv_r3 + 1.5 * tr * inv_r5) * d + 3.0 * inv_r5 * m2d -
+         7.5 * dot(d, m2d) * inv_r5 * inv_r2 * d;
+}
+
+}  // namespace hacc::fmm

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace hacc::gravity {
 
@@ -84,6 +85,14 @@ PolyShortForce::PolyShortForce(double r_split, double r_cut, int order)
     coef_[i] = scaled[i] * scale;
     scale /= (rcut_ * rcut_);
   }
+}
+
+PolyShortForce PolyShortForce::newtonian(double r_cut) {
+  PolyShortForce f;
+  f.rs_ = std::numeric_limits<double>::infinity();  // nothing on the mesh side
+  f.rcut_ = r_cut;
+  f.coef_.assign(1, 0.0);
+  return f;
 }
 
 double PolyShortForce::max_abs_error(int n_samples) const {

@@ -49,6 +49,11 @@ class PolyShortForce {
  public:
   PolyShortForce(double r_split, double r_cut, int order = 5);
 
+  // Degenerate profile with poly == 0: short_profile reduces to pure
+  // (softened) Newton up to r_cut.  Used by the tree-only fmm backend, whose
+  // far field is carried by multipoles instead of a mesh.
+  static PolyShortForce newtonian(double r_cut);
+
   double r_cut() const { return rcut_; }
   int order() const { return order_; }
   const std::vector<double>& coefficients() const { return coef_; }
@@ -72,9 +77,11 @@ class PolyShortForce {
   double max_abs_error(int n_samples = 512) const;
 
  private:
-  double rs_;
-  double rcut_;
-  int order_;
+  PolyShortForce() = default;  // for newtonian(): no fit to run
+
+  double rs_ = 0.0;
+  double rcut_ = 0.0;
+  int order_ = 0;
   std::vector<double> coef_;  // coef_[i] multiplies (r^2)^i
 };
 

@@ -22,6 +22,8 @@ RcbTree::RcbTree(std::span<const Vec3d> pos, double box, int leaf_size)
 std::int32_t RcbTree::build(std::int32_t begin, std::int32_t end,
                             std::span<const Vec3d> pos) {
   Node node;
+  node.begin = begin;
+  node.end = end;
   node.lo = Vec3d(std::numeric_limits<double>::max());
   node.hi = Vec3d(std::numeric_limits<double>::lowest());
   for (std::int32_t k = begin; k < end; ++k) {
@@ -105,7 +107,10 @@ void RcbTree::dual_walk(std::int32_t ia, std::int32_t ib, double cutoff,
   const bool a_is_leaf = a.leaf >= 0;
   const bool b_is_leaf = b.leaf >= 0;
   if (a_is_leaf && b_is_leaf) {
-    if (a.leaf <= b.leaf) out.push_back({a.leaf, b.leaf});
+    // Leaves are numbered in slot order and the walk only ever pairs an
+    // earlier subtree's node on the left, so the pair is already canonical.
+    assert(a.leaf <= b.leaf);
+    out.push_back({a.leaf, b.leaf});
     return;
   }
   // Descend the larger (non-leaf) node; for self pairs descend both sides.
@@ -131,15 +136,19 @@ std::vector<LeafPair> RcbTree::interacting_pairs(double cutoff) const {
   std::vector<LeafPair> pairs;
   if (root_ < 0) return pairs;
   dual_walk(root_, root_, cutoff, pairs);
-  // The walk can produce (a,b) duplicates when siblings interleave; dedupe.
-  std::sort(pairs.begin(), pairs.end(), [](const LeafPair& x, const LeafPair& y) {
+#ifndef NDEBUG
+  // The recursion partitions leaf pairs by their deepest common ancestor, so
+  // every unordered pair is visited exactly once and the list is duplicate-
+  // free without the historical sort + std::unique pass.
+  std::vector<LeafPair> sorted = pairs;
+  std::sort(sorted.begin(), sorted.end(), [](const LeafPair& x, const LeafPair& y) {
     return x.a != y.a ? x.a < y.a : x.b < y.b;
   });
-  pairs.erase(std::unique(pairs.begin(), pairs.end(),
-                          [](const LeafPair& x, const LeafPair& y) {
-                            return x.a == y.a && x.b == y.b;
-                          }),
-              pairs.end());
+  assert(std::adjacent_find(sorted.begin(), sorted.end(),
+                            [](const LeafPair& x, const LeafPair& y) {
+                              return x.a == y.a && x.b == y.b;
+                            }) == sorted.end());
+#endif
   return pairs;
 }
 

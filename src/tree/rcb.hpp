@@ -33,6 +33,23 @@ struct LeafPair {
 
 class RcbTree {
  public:
+  // Internal binary-tree node.  Children were built after their parent, so a
+  // node's index is always smaller than its children's — iterating nodes()
+  // in reverse index order visits children before parents (the order an
+  // upward multipole pass needs).  Each node covers the contiguous tree-slot
+  // range [begin, end); leaves partition the slots in leaf-index order, so
+  // the leaves under a node are exactly leaf_of_slot(begin) ...
+  // leaf_of_slot(end - 1).
+  struct Node {
+    util::Vec3d lo, hi;                  // axis-aligned bounding box
+    std::int32_t begin = 0, end = 0;     // covered tree-slot range
+    std::int32_t left = -1, right = -1;  // children; -1 for leaf nodes
+    std::int32_t leaf = -1;              // leaf index when a leaf node
+
+    bool is_leaf() const { return leaf >= 0; }
+    std::int32_t count() const { return end - begin; }
+  };
+
   // Builds from positions in [0, box)^3.  leaf_size bounds leaf occupancy.
   RcbTree(std::span<const util::Vec3d> pos, double box, int leaf_size);
 
@@ -42,24 +59,27 @@ class RcbTree {
   // Permutation: order()[k] is the original particle index at tree slot k.
   const std::vector<std::int32_t>& order() const { return order_; }
   const std::vector<Leaf>& leaves() const { return leaves_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::int32_t root() const { return root_; }  // -1 for an empty tree
 
   // Leaf index containing tree slot k.
   std::int32_t leaf_of_slot(std::int32_t k) const { return slot_leaf_[k]; }
 
   // All leaf pairs whose bounding boxes come within `cutoff` of each other
-  // under the minimum-image convention (self pairs included).
+  // under the minimum-image convention (self pairs included).  Pairs are
+  // canonical (a <= b) and duplicate-free by construction; they are emitted
+  // in traversal order, not sorted.
   std::vector<LeafPair> interacting_pairs(double cutoff) const;
 
   // Minimum-image distance between two leaf AABBs (0 when overlapping).
   double leaf_distance(std::int32_t a, std::int32_t b) const;
 
- private:
-  struct Node {
-    util::Vec3d lo, hi;
-    std::int32_t left = -1, right = -1;  // children; -1 for leaf nodes
-    std::int32_t leaf = -1;              // leaf index when a leaf node
-  };
+  // Minimum-image distance between two node AABBs (0 when overlapping).
+  double node_distance(std::int32_t a, std::int32_t b) const {
+    return node_distance(nodes_[a], nodes_[b]);
+  }
 
+ private:
   std::int32_t build(std::int32_t begin, std::int32_t end,
                      std::span<const util::Vec3d> pos);
   void dual_walk(std::int32_t na, std::int32_t nb, double cutoff,

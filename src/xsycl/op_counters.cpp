@@ -20,6 +20,7 @@ void OpCounters::merge(const OpCounters& o) {
   atomic_f32_minmax += o.atomic_f32_minmax;
   atomic_i32 += o.atomic_i32;
   interactions += o.interactions;
+  m2p_ops += o.m2p_ops;
   lanes_launched += o.lanes_launched;
   sub_groups += o.sub_groups;
   work_groups += o.work_groups;
@@ -30,6 +31,7 @@ void OpCounters::merge(const OpCounters& o) {
 std::string OpCounters::summary() const {
   std::ostringstream os;
   os << "interactions=" << interactions
+     << " m2p=" << m2p_ops
      << " select_words=" << select_words
      << " local32_words=" << local32_words
      << " localobj_bytes=" << localobj_bytes

@@ -32,6 +32,7 @@ struct OpCounters {
 
   // Work accounting.
   std::uint64_t interactions = 0;     // pair interactions evaluated
+  std::uint64_t m2p_ops = 0;          // multipole-to-particle far-field evaluations
   std::uint64_t lanes_launched = 0;   // work-items spanned by launches
   std::uint64_t sub_groups = 0;
   std::uint64_t work_groups = 0;

@@ -8,6 +8,8 @@
 
 #include <cmath>
 
+#include "util/config.hpp"
+
 namespace hacc::core {
 namespace {
 
@@ -189,6 +191,117 @@ TEST(Solver, VariantSelectionIsExercised) {
   EXPECT_GT(total.localobj_bytes, 0u);   // MemoryObject kernels
   EXPECT_GT(total.broadcast_ops, 0u);    // Broadcast acceleration
   EXPECT_EQ(total.select_words, 0u);     // nothing used Select
+}
+
+TEST(GravityBackend, StringRoundTripThroughConfig) {
+  util::Config cfg;
+  for (const GravityBackend b : {GravityBackend::kPmPp, GravityBackend::kFmm,
+                                 GravityBackend::kTreePm}) {
+    cfg.set("gravity.backend", to_string(b));
+    GravityBackend out = GravityBackend::kPmPp;
+    ASSERT_TRUE(parse_gravity_backend(cfg.get_string("gravity.backend", ""), out))
+        << to_string(b);
+    EXPECT_EQ(out, b);
+  }
+}
+
+TEST(GravityBackend, RejectsUnknownNames) {
+  GravityBackend out = GravityBackend::kTreePm;
+  EXPECT_FALSE(parse_gravity_backend("p3m", out));
+  EXPECT_FALSE(parse_gravity_backend("", out));
+  EXPECT_FALSE(parse_gravity_backend("FMM", out));
+  EXPECT_EQ(out, GravityBackend::kTreePm);  // untouched on failure
+}
+
+namespace backend_parity {
+
+double rms(const std::vector<util::Vec3d>& a) {
+  double s = 0.0;
+  for (const auto& v : a) s += norm2(v);
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double rms_diff(const std::vector<util::Vec3d>& a, const std::vector<util::Vec3d>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += norm2(a[i] - b[i]);
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace backend_parity
+
+TEST(Solver, BackendsAgreeOnUnperturbedLattice) {
+  // sigma_norm = 0 leaves the exact initial lattice, whose gravity vanishes
+  // by symmetry: every backend must keep it in equilibrium.  np_side is odd
+  // so no particle pair sits exactly half a box apart, where the minimum
+  // image is ambiguous.  The mesh-free fmm backend cancels to float
+  // round-off; pm_pp carries a small CIC-aliasing self-force (the lattice
+  // is incommensurate with the PM grid), which bounds the tolerance.
+  SimConfig cfg = small_config();
+  cfg.np_side = 9;
+  cfg.hydro = false;
+  cfg.sigma_norm = 0.0;
+  util::ThreadPool pool(4);
+
+  const double dx = cfg.box / cfg.np_side;
+  const double m = cfg.box * cfg.box * cfg.box / (cfg.np_side * cfg.np_side * cfg.np_side);
+  const double a_init = ic::Cosmology::a_of_z(cfg.z_init);
+  const double g_code = 3.0 * cfg.cosmo.omega_m / (8.0 * M_PI * a_init);
+  const double scale = g_code * m / (dx * dx);  // neighbor-force magnitude
+
+  Solver pm(cfg, pool);
+  pm.initialize();
+  cfg.gravity_backend = GravityBackend::kFmm;
+  Solver fmm(cfg, pool);
+  fmm.initialize();
+  cfg.gravity_backend = GravityBackend::kTreePm;
+  Solver treepm(cfg, pool);
+  treepm.initialize();
+
+  const auto a_pm = pm.gravity_accelerations();
+  const auto a_fmm = fmm.gravity_accelerations();
+  const auto a_tp = treepm.gravity_accelerations();
+  EXPECT_LT(backend_parity::rms(a_fmm), 1e-3 * scale);
+  EXPECT_LT(backend_parity::rms(a_pm), 0.03 * scale);
+  EXPECT_LT(backend_parity::rms_diff(a_fmm, a_pm), 0.03 * scale);
+  EXPECT_LT(backend_parity::rms_diff(a_tp, a_pm), 0.03 * scale);
+}
+
+TEST(Solver, TreePmMatchesPmPpOnZeldovichIcs) {
+  // Identical PM long range and short-range force law: the backends may
+  // differ only by the far-field multipole approximation.
+  SimConfig cfg = small_config();
+  cfg.hydro = false;
+  util::ThreadPool pool(4);
+  Solver pm(cfg, pool);
+  pm.initialize();
+  cfg.gravity_backend = GravityBackend::kTreePm;
+  Solver treepm(cfg, pool);
+  treepm.initialize();
+
+  const auto a_pm = pm.gravity_accelerations();
+  const auto a_tp = treepm.gravity_accelerations();
+  EXPECT_LT(backend_parity::rms_diff(a_tp, a_pm), 1e-3 * backend_parity::rms(a_pm));
+}
+
+TEST(Solver, FmmBackendExercisesFarFieldAndStaysFinite) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 16;
+  cfg.hydro = false;
+  cfg.leaf_size = 4;  // thin leaves: the MAC accepts real far-field work
+  cfg.gravity_backend = GravityBackend::kFmm;
+  cfg.n_steps = 1;
+  util::ThreadPool pool(4);
+  Solver solver(cfg, pool);
+  solver.initialize();
+  EXPECT_GT(solver.fmm_ops().m2p_ops, 0u);
+  for (const auto& a : solver.gravity_accelerations()) {
+    ASSERT_TRUE(std::isfinite(a.x) && std::isfinite(a.y) && std::isfinite(a.z));
+  }
+  // The fmm backend replaces the mesh: tree timers run, the PM timer never.
+  EXPECT_GT(solver.timers().get("grav_fmm").calls, 0u);
+  EXPECT_GT(solver.timers().get("grav_far").calls, 0u);
+  EXPECT_GT(solver.timers().get("grav_pp").calls, 0u);
+  EXPECT_EQ(solver.timers().get("grav_pm").calls, 0u);
 }
 
 TEST(Solver, SubGroupSizeSixteenRuns) {

@@ -182,6 +182,71 @@ TEST(RcbPairsPeriodic, FindsPairsAcrossBoundary) {
   EXPECT_TRUE(found_cross);
 }
 
+TEST(RcbEdgeCases, CutoffBeyondHalfBoxPairsEveryLeafExactlyOnce) {
+  // Under the minimum image no two AABBs are farther apart than
+  // sqrt(3)/2 * box, so a cutoff of one box length must list every leaf
+  // pair — each exactly once.
+  const double box = 10.0;
+  const auto pos = random_positions(300, box, 60);
+  RcbTree tree(pos, box, 16);
+  const auto pairs = tree.interacting_pairs(box);
+  const std::size_t n_leaves = tree.leaves().size();
+  ASSERT_GT(n_leaves, 1u);
+  EXPECT_EQ(pairs.size(), n_leaves * (n_leaves + 1) / 2);
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (const auto& lp : pairs) {
+    ASSERT_LE(lp.a, lp.b);
+    ASSERT_TRUE(seen.insert({lp.a, lp.b}).second)
+        << "duplicate (" << lp.a << "," << lp.b << ")";
+  }
+}
+
+TEST(RcbEdgeCases, SingleLeafTree) {
+  const double box = 10.0;
+  const auto pos = random_positions(9, box, 61);
+  RcbTree tree(pos, box, 16);
+  ASSERT_EQ(tree.leaves().size(), 1u);
+  EXPECT_EQ(tree.leaves()[0].count(), 9);
+  for (const double cutoff : {0.0, 1.0, box}) {
+    const auto pairs = tree.interacting_pairs(cutoff);
+    ASSERT_EQ(pairs.size(), 1u) << "cutoff " << cutoff;
+    EXPECT_EQ(pairs[0].a, 0);
+    EXPECT_EQ(pairs[0].b, 0);
+  }
+}
+
+TEST(RcbEdgeCases, ParticlesExactlyOnBoxBoundary) {
+  // Tight clusters exactly on the lower (x = 0) and upper (x = box) faces:
+  // the minimum image puts the faces at distance zero, so every leaf pair
+  // is within a tiny cutoff even though the coordinates sit a box apart.
+  const double box = 10.0;
+  std::vector<Vec3d> pos;
+  for (int i = 0; i < 12; ++i) {
+    pos.push_back({0.0, 5.0 + 0.001 * i, 5.0});
+    pos.push_back({box, 5.0 + 0.001 * i, 5.0});
+  }
+  RcbTree tree(pos, box, 8);
+  const auto& leaves = tree.leaves();
+  ASSERT_GT(leaves.size(), 1u);
+  bool found_cross = false;
+  for (std::size_t a = 0; a < leaves.size(); ++a) {
+    for (std::size_t b = a + 1; b < leaves.size(); ++b) {
+      if ((leaves[a].hi.x < 1.0 && leaves[b].lo.x > 9.0) ||
+          (leaves[b].hi.x < 1.0 && leaves[a].lo.x > 9.0)) {
+        // Cross-boundary pair: the x gap wraps to exactly zero.
+        EXPECT_LT(tree.leaf_distance(static_cast<std::int32_t>(a),
+                                     static_cast<std::int32_t>(b)),
+                  0.02);
+        found_cross = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_cross);
+  // Everything is mutually within a whisker under the minimum image.
+  const auto pairs = tree.interacting_pairs(0.05);
+  EXPECT_EQ(pairs.size(), leaves.size() * (leaves.size() + 1) / 2);
+}
+
 TEST(RcbEdgeCases, EmptyTree) {
   std::vector<Vec3d> pos;
   RcbTree tree(pos, 10.0, 16);

@@ -110,5 +110,17 @@ TEST(Config, ProgramPathWithEqualsNotIngested) {
   EXPECT_EQ(c.get_int("np", 0), 8);
 }
 
+TEST(Config, DottedKeysRoundTrip) {
+  // Namespaced keys like gravity.backend flow through file parsing and
+  // command-line overrides unchanged.
+  Config c;
+  ASSERT_TRUE(c.parse("gravity.backend = fmm\ngravity.theta = 0.5\n"));
+  EXPECT_EQ(c.get_string("gravity.backend", ""), "fmm");
+  EXPECT_DOUBLE_EQ(c.get_double("gravity.theta", 0.0), 0.5);
+  const char* argv[] = {"gravity.backend=treepm"};
+  c.apply_overrides(1, argv);
+  EXPECT_EQ(c.get_string("gravity.backend", ""), "treepm");
+}
+
 }  // namespace
 }  // namespace hacc::util
