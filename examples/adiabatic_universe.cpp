@@ -25,6 +25,12 @@ int main(int argc, char** argv) {
   cfg.z_final = cli.get_double("z_final", 50.0);
   cfg.sub_group_size = static_cast<int>(cli.get_int("sg", 32));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string grad = cli.get_string("gravity.pm_gradient", "spectral");
+  if (!hacc::gravity::parse_pm_gradient(grad, cfg.pm_gradient)) {
+    std::fprintf(stderr, "unknown pm gradient '%s' (spectral | fd4 | fd6)\n",
+                 grad.c_str());
+    return 1;
+  }
 
   hacc::xsycl::CommVariant variant = hacc::xsycl::CommVariant::kSelect;
   if (!hacc::xsycl::parse_variant(cli.get_string("variant", "select"), variant)) {

@@ -32,6 +32,12 @@ int main(int argc, char** argv) {
                  backend.c_str());
     return 1;
   }
+  const std::string grad = cli.get_string("gravity.pm_gradient", "spectral");
+  if (!hacc::gravity::parse_pm_gradient(grad, cfg.pm_gradient)) {
+    std::fprintf(stderr, "unknown pm gradient '%s' (spectral | fd4 | fd6)\n",
+                 grad.c_str());
+    return 1;
+  }
 
   hacc::util::ThreadPool pool(static_cast<unsigned>(cli.get_int("threads", 0)));
   hacc::core::Solver solver(cfg, pool);

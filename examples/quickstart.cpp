@@ -19,6 +19,11 @@ int main(int argc, char** argv) {
   cfg.box = cli.get_double("box", 25.0);
   cfg.pm_grid = static_cast<int>(cli.get_int("pm_grid", 32));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  if (!hacc::gravity::parse_pm_gradient(
+          cli.get_string("gravity.pm_gradient", "spectral"), cfg.pm_gradient)) {
+    std::fprintf(stderr, "unknown gravity.pm_gradient (spectral | fd4 | fd6)\n");
+    return 1;
+  }
 
   hacc::util::ThreadPool pool(static_cast<unsigned>(cli.get_int("threads", 0)));
   hacc::core::Solver solver(cfg, pool);

@@ -64,6 +64,7 @@ Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
     pm_opt.box = cfg_.box;
     pm_opt.r_split = cfg_.r_split_cells * cfg_.box / cfg_.pm_grid;
     pm_opt.G = 1.0;  // rescaled per evaluation
+    pm_opt.gradient = cfg_.pm_gradient;
     pm_ = std::make_unique<gravity::PmSolver>(pm_opt, pool);
     poly_ = std::make_unique<gravity::PolyShortForce>(
         pm_opt.r_split, cfg_.pp_cut_factor * pm_opt.r_split, cfg_.poly_order);

@@ -1,15 +1,48 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace hacc::fft {
 
 bool is_pow2(int n) { return n >= 2 && (n & (n - 1)) == 0; }
 
-void fft_1d(cplx* data, int n, bool inverse) {
+Twiddles::Twiddles(int n) : n_(n) {
+  if (!is_pow2(n)) throw std::invalid_argument("Twiddles: size must be a power of two");
+  fwd_.resize(static_cast<std::size_t>(n) - 1);
+  inv_.resize(static_cast<std::size_t>(n) - 1);
+  for (int len = 2; len <= n; len <<= 1) {
+    const std::size_t off = static_cast<std::size_t>(len / 2) - 1;
+    for (int k = 0; k < len / 2; ++k) {
+      // Evaluated directly per index: a running product w *= wlen accumulates
+      // O(len * eps) phase error on long stages; this stays at O(eps).
+      const double ang = -2.0 * M_PI * k / len;
+      fwd_[off + k] = cplx(std::cos(ang), std::sin(ang));
+      inv_[off + k] = cplx(std::cos(ang), -std::sin(ang));
+    }
+  }
+}
+
+const Twiddles& twiddles_for(int n) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<Twiddles>> cache;
+  std::lock_guard lock(mu);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<Twiddles>(n);
+  return *slot;
+}
+
+void fft_1d(cplx* data, int n, bool inverse, const Twiddles& tw) {
   assert(is_pow2(n));
+  if (tw.n() < n) {
+    // Always-on: a too-small table would index past the stage arrays.
+    throw std::invalid_argument("fft_1d: twiddle table smaller than transform");
+  }
   // Bit-reversal permutation.
   for (int i = 1, j = 0; i < n; ++i) {
     int bit = n >> 1;
@@ -17,57 +50,74 @@ void fft_1d(cplx* data, int n, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Iterative butterflies.
+  // Iterative butterflies on tabulated twiddles.
   for (int len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * M_PI / len;
-    const cplx wlen(std::cos(ang), std::sin(ang));
+    const cplx* w = tw.stage(len, inverse);
+    const int half = len / 2;
     for (int i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
-      for (int k = 0; k < len / 2; ++k) {
-        const cplx u = data[i + k];
-        const cplx v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
+      cplx* lo = data + i;
+      cplx* hi = lo + half;
+      for (int k = 0; k < half; ++k) {
+        const cplx u = lo[k];
+        const cplx v = hi[k] * w[k];
+        lo[k] = u + v;
+        hi[k] = u - v;
       }
     }
   }
 }
 
-Fft3D::Fft3D(int n, util::ThreadPool& pool) : n_(n), pool_(&pool) {
+void fft_1d(cplx* data, int n, bool inverse) { fft_1d(data, n, inverse, twiddles_for(n)); }
+
+Fft3D::Fft3D(int n, util::ThreadPool& pool)
+    : n_(n), pool_(&pool), tw_(&twiddles_for(n)) {
   if (!is_pow2(n)) throw std::invalid_argument("Fft3D: grid size must be a power of two");
+  unpack_.resize(static_cast<std::size_t>(n) / 2);
+  for (int k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * M_PI * k / n;
+    unpack_[k] = cplx(std::cos(ang), std::sin(ang));
+  }
 }
 
-void Fft3D::transform_axis(std::vector<cplx>& grid, Axis axis, bool inverse) const {
-  const int n = n_;
-  const std::int64_t n_pencils = static_cast<std::int64_t>(n) * n;
+void Fft3D::transform_pencils(cplx* data, std::int64_t n_pencils, int len,
+                              bool inverse) const {
+  const Twiddles& tw = *tw_;
   pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
-    std::vector<cplx> pencil(n);
     for (std::int64_t p = b; p < e; ++p) {
-      const int a = static_cast<int>(p / n);
-      const int c = static_cast<int>(p % n);
-      // Map (a, c) to the two fixed coordinates of this axis' pencils.
-      std::size_t base = 0, stride = 0;
-      switch (axis) {
-        case Axis::kZ:  // vary iz; fixed (ix=a, iy=c)
-          base = (static_cast<std::size_t>(a) * n + c) * n;
-          stride = 1;
-          break;
-        case Axis::kY:  // vary iy; fixed (ix=a, iz=c)
-          base = static_cast<std::size_t>(a) * n * n + c;
-          stride = n;
-          break;
-        case Axis::kX:  // vary ix; fixed (iy=a, iz=c)
-          base = static_cast<std::size_t>(a) * n + c;
-          stride = static_cast<std::size_t>(n) * n;
-          break;
+      fft_1d(data + p * len, len, inverse, tw);
+    }
+  });
+}
+
+void Fft3D::transform_strided(cplx* data, int len, std::int64_t outer_count,
+                              std::size_t outer_stride, int inner_count,
+                              std::size_t stride, bool inverse) const {
+  // Tile kTile adjacent (unit-stride) pencils: the gather/scatter then moves
+  // kTile contiguous elements per touched cache line instead of one, and the
+  // butterflies run on unit-stride rows of the scratch block.
+  constexpr int kTile = 8;
+  const int n_tiles = (inner_count + kTile - 1) / kTile;
+  const std::int64_t items = outer_count * n_tiles;
+  const std::int64_t chunk = std::max<std::int64_t>(
+      1, items / (static_cast<std::int64_t>(pool_->size()) * 8));
+  const Twiddles& tw = *tw_;
+  pool_->parallel_for_chunks(items, chunk, [&](std::int64_t b, std::int64_t e) {
+    std::vector<cplx> buf(static_cast<std::size_t>(kTile) * len);
+    for (std::int64_t it = b; it < e; ++it) {
+      const std::int64_t outer = it / n_tiles;
+      const int c0 = static_cast<int>(it % n_tiles) * kTile;
+      const int tb = std::min(kTile, inner_count - c0);
+      cplx* base = data + outer * outer_stride + c0;
+      for (int i = 0; i < len; ++i) {
+        const cplx* src = base + static_cast<std::size_t>(i) * stride;
+        for (int t = 0; t < tb; ++t) buf[static_cast<std::size_t>(t) * len + i] = src[t];
       }
-      if (stride == 1) {
-        fft_1d(grid.data() + base, n, inverse);
-      } else {
-        for (int i = 0; i < n; ++i) pencil[i] = grid[base + i * stride];
-        fft_1d(pencil.data(), n, inverse);
-        for (int i = 0; i < n; ++i) grid[base + i * stride] = pencil[i];
+      for (int t = 0; t < tb; ++t) {
+        fft_1d(buf.data() + static_cast<std::size_t>(t) * len, len, inverse, tw);
+      }
+      for (int i = 0; i < len; ++i) {
+        cplx* dst = base + static_cast<std::size_t>(i) * stride;
+        for (int t = 0; t < tb; ++t) dst[t] = buf[static_cast<std::size_t>(t) * len + i];
       }
     }
   });
@@ -75,21 +125,101 @@ void Fft3D::transform_axis(std::vector<cplx>& grid, Axis axis, bool inverse) con
 
 void Fft3D::forward(std::vector<cplx>& grid) const {
   assert(grid.size() == size());
-  transform_axis(grid, Axis::kZ, false);
-  transform_axis(grid, Axis::kY, false);
-  transform_axis(grid, Axis::kX, false);
+  const int n = n_;
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  transform_pencils(grid.data(), static_cast<std::int64_t>(nn), n, false);  // z
+  transform_strided(grid.data(), n, n, nn, n, n, false);                    // y
+  transform_strided(grid.data(), n, n, n, n, nn, false);                    // x
 }
 
 void Fft3D::inverse(std::vector<cplx>& grid) const {
   assert(grid.size() == size());
-  transform_axis(grid, Axis::kZ, true);
-  transform_axis(grid, Axis::kY, true);
-  transform_axis(grid, Axis::kX, true);
+  const int n = n_;
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  transform_pencils(grid.data(), static_cast<std::int64_t>(nn), n, true);  // z
+  transform_strided(grid.data(), n, n, nn, n, n, true);                    // y
+  transform_strided(grid.data(), n, n, n, n, nn, true);                    // x
   const double norm = 1.0 / static_cast<double>(size());
   pool_->parallel_for_chunks(static_cast<std::int64_t>(grid.size()), 4096,
                              [&](std::int64_t b, std::int64_t e) {
                                for (std::int64_t i = b; i < e; ++i) grid[i] *= norm;
                              });
+}
+
+void Fft3D::forward_r2c(std::span<const double> real, std::vector<cplx>& half) const {
+  assert(real.size() == size());
+  const int n = n_;
+  const int n2 = n / 2;
+  const int nh = half_nz();
+  half.resize(half_size());
+  const std::int64_t n_pencils = static_cast<std::int64_t>(n) * n;
+  const Twiddles& tw = *tw_;
+  // z: real pencils packed two samples per complex slot, transformed at half
+  // length, untangled through Hermitian symmetry into nh = n/2 + 1 modes.
+  pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t p = b; p < e; ++p) {
+      const double* x = real.data() + p * n;
+      cplx* row = half.data() + p * nh;
+      for (int j = 0; j < n2; ++j) row[j] = cplx(x[2 * j], x[2 * j + 1]);
+      if (n2 >= 2) fft_1d(row, n2, false, tw);
+      const cplx z0 = row[0];
+      row[0] = cplx(z0.real() + z0.imag(), 0.0);
+      row[n2] = cplx(z0.real() - z0.imag(), 0.0);
+      for (int k = 1; 2 * k <= n2; ++k) {
+        const cplx zk = row[k];
+        const cplx zc = std::conj(row[n2 - k]);
+        const cplx even = 0.5 * (zk + zc);
+        const cplx odd = 0.5 * (zk - zc);
+        const cplx t = cplx(0.0, -1.0) * unpack_[k] * odd;
+        row[k] = even + t;
+        row[n2 - k] = std::conj(even - t);
+      }
+    }
+  });
+  const std::size_t plane = static_cast<std::size_t>(n) * nh;
+  transform_strided(half.data(), n, n, plane, nh, nh, false);  // y
+  transform_strided(half.data(), n, n, nh, nh, plane, false);  // x
+}
+
+void Fft3D::inverse_c2r(std::vector<cplx>& half, std::span<double> real) const {
+  assert(half.size() == half_size() && real.size() == size());
+  const int n = n_;
+  const int n2 = n / 2;
+  const int nh = half_nz();
+  const std::size_t plane = static_cast<std::size_t>(n) * nh;
+  transform_strided(half.data(), n, n, nh, nh, plane, true);   // x
+  transform_strided(half.data(), n, n, plane, nh, nh, true);   // y
+  // z: retangle the half spectrum into the packed half-length spectrum,
+  // inverse-transform, and unpack the interleaved real samples.  The single
+  // 1/n^3 normalization of the whole inverse is folded into `scale` (the two
+  // strided passes above are unnormalized, contributing n^2; the half-length
+  // inverse contributes n/2).
+  const double scale = 2.0 / (static_cast<double>(n) * n * n);
+  const std::int64_t n_pencils = static_cast<std::int64_t>(n) * n;
+  const Twiddles& tw = *tw_;
+  pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t p = b; p < e; ++p) {
+      cplx* row = half.data() + p * nh;
+      double* x = real.data() + p * n;
+      const cplx x0 = row[0];
+      const cplx xn = row[n2];
+      row[0] = 0.5 * cplx(x0.real() + xn.real(), x0.real() - xn.real());
+      for (int k = 1; 2 * k <= n2; ++k) {
+        const cplx xk = row[k];
+        const cplx xc = std::conj(row[n2 - k]);
+        const cplx a = 0.5 * (xk + xc);
+        const cplx b2 = 0.5 * (xk - xc);
+        const cplx t = cplx(0.0, 1.0) * std::conj(unpack_[k]) * b2;
+        row[k] = a + t;
+        row[n2 - k] = std::conj(a - t);
+      }
+      if (n2 >= 2) fft_1d(row, n2, true, tw);
+      for (int j = 0; j < n2; ++j) {
+        x[2 * j] = row[j].real() * scale;
+        x[2 * j + 1] = row[j].imag() * scale;
+      }
+    }
+  });
 }
 
 }  // namespace hacc::fft

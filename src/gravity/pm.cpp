@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/timer.hpp"
+
 namespace hacc::gravity {
 
 namespace {
@@ -20,8 +22,33 @@ int signed_freq(int i, int n) { return i < n / 2 ? i : i - n; }
 
 }  // namespace
 
+const char* to_string(PmGradient g) {
+  switch (g) {
+    case PmGradient::kSpectral:
+      return "spectral";
+    case PmGradient::kFd4:
+      return "fd4";
+    case PmGradient::kFd6:
+      return "fd6";
+  }
+  return "spectral";
+}
+
+bool parse_pm_gradient(const std::string& name, PmGradient& out) {
+  if (name == "spectral") {
+    out = PmGradient::kSpectral;
+  } else if (name == "fd4") {
+    out = PmGradient::kFd4;
+  } else if (name == "fd6") {
+    out = PmGradient::kFd6;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 PmSolver::PmSolver(const PmOptions& opt, util::ThreadPool& pool)
-    : opt_(opt), pool_(&pool), fft_(opt.grid_n, pool) {}
+    : opt_(opt), pool_(&pool), fft_(opt.grid_n, pool), depositor_(pool) {}
 
 void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
                               std::span<const double> mass,
@@ -30,78 +57,181 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
   const double box = opt_.box;
   const double cell_vol = (box / n) * (box / n) * (box / n);
   const SplitForce split(opt_.r_split);
+  const bool spectral = opt_.gradient == PmGradient::kSpectral;
+  times_ = PmPhaseTimes{};
 
   // Density contrast source: 4 pi G (rho - rho_bar); the k=0 mode removal
-  // implements the mean subtraction.
-  mesh::GridD mass_grid(n);
-  mesh::cic_deposit(mass_grid, pos, mass, box);
-
-  std::vector<fft::cplx> rho(fft_.size());
-  for (std::size_t i = 0; i < rho.size(); ++i) {
-    rho[i] = fft::cplx(mass_grid.data()[i] / cell_vol, 0.0);
+  // implements the mean subtraction.  The mass -> density conversion
+  // (1/cell_vol) is folded into the Green's function below, so the deposit
+  // grid goes into the transform untouched.
+  double t0 = util::wtime();
+  if (mass_grid_.n() != n) {
+    mass_grid_ = mesh::GridD(n);
+  } else {
+    mass_grid_.fill(0.0);
   }
-  fft_.forward(rho);
+  depositor_.deposit(mass_grid_, pos, mass, box);
+  times_.deposit = util::wtime() - t0;
 
-  // Build the three spectral force components a(k) = i k 4πG rho(k)/k^2,
-  // filtered and CIC-deconvolved.
-  std::vector<fft::cplx> fk[3];
-  for (auto& f : fk) f.resize(fft_.size());
-  std::vector<fft::cplx> phik(fft_.size());
+  t0 = util::wtime();
+  fft_.forward_r2c(mass_grid_.data(), phi_k_);
+  times_.forward = util::wtime() - t0;
 
+  // Green's function (and, on the spectral path, the three force spectra
+  // a(k) = -i k phi(k)) on the half spectrum.  Differentiated components are
+  // zeroed on their axis' Nyquist plane: -i k breaks Hermitian symmetry
+  // there, and the full-spectrum transform's real part discarded exactly
+  // that contribution too.
+  t0 = util::wtime();
+  if (spectral) {
+    for (auto& c : comp_k_) c.resize(fft_.half_size());
+  }
+  const int nh = fft_.half_nz();
   const double two_pi_over_l = 2.0 * M_PI / box;
   pool_->parallel_for_chunks(n, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t ix = b; ix < e; ++ix) {
       const int nx = signed_freq(static_cast<int>(ix), n);
+      const bool x_nyq = 2 * static_cast<int>(ix) == n;
       for (int iy = 0; iy < n; ++iy) {
         const int ny = signed_freq(iy, n);
-        for (int iz = 0; iz < n; ++iz) {
-          const int nz = signed_freq(iz, n);
-          const std::size_t idx = (static_cast<std::size_t>(ix) * n + iy) * n + iz;
-          if (nx == 0 && ny == 0 && nz == 0) {
-            phik[idx] = 0.0;
-            fk[0][idx] = fk[1][idx] = fk[2][idx] = 0.0;
+        const bool y_nyq = 2 * iy == n;
+        const std::size_t row = (static_cast<std::size_t>(ix) * n + iy) * nh;
+        for (int iz = 0; iz < nh; ++iz) {
+          const std::size_t idx = row + iz;
+          if (nx == 0 && ny == 0 && iz == 0) {
+            phi_k_[idx] = 0.0;
+            if (spectral) {
+              comp_k_[0][idx] = comp_k_[1][idx] = comp_k_[2][idx] = 0.0;
+            }
             continue;
           }
           const double kx = two_pi_over_l * nx;
           const double ky = two_pi_over_l * ny;
-          const double kz = two_pi_over_l * nz;
+          const double kz = two_pi_over_l * iz;  // iz in [0, n/2]
           const double k2 = kx * kx + ky * ky + kz * kz;
-          double green = -4.0 * M_PI * opt_.G / k2;
+          double green = -4.0 * M_PI * opt_.G / (k2 * cell_vol);
           if (opt_.r_split > 0.0) green *= split.k_filter(std::sqrt(k2));
           if (opt_.deconvolve_cic) {
             const double w = cic_window_1d(nx, n) * cic_window_1d(ny, n) *
-                             cic_window_1d(nz, n);
+                             cic_window_1d(iz, n);
             green /= (w * w);  // deposit + interpolation
           }
-          const fft::cplx phi = green * rho[idx];
-          phik[idx] = phi;
-          // a = -ik phi.
-          fk[0][idx] = fft::cplx(0.0, -kx) * phi;
-          fk[1][idx] = fft::cplx(0.0, -ky) * phi;
-          fk[2][idx] = fft::cplx(0.0, -kz) * phi;
+          const fft::cplx phi = green * phi_k_[idx];
+          phi_k_[idx] = phi;
+          if (spectral) {
+            // a = -ik phi; Nyquist planes of the differentiated axis -> 0.
+            comp_k_[0][idx] = x_nyq ? fft::cplx(0.0) : fft::cplx(0.0, -kx) * phi;
+            comp_k_[1][idx] = y_nyq ? fft::cplx(0.0) : fft::cplx(0.0, -ky) * phi;
+            comp_k_[2][idx] = 2 * iz == n ? fft::cplx(0.0) : fft::cplx(0.0, -kz) * phi;
+          }
         }
       }
     }
   });
+  times_.green = util::wtime() - t0;
 
-  fft_.inverse(phik);
-  potential_ = mesh::GridD(n);
-  for (std::size_t i = 0; i < phik.size(); ++i) potential_.data()[i] = phik[i].real();
-
-  for (int a = 0; a < 3; ++a) {
-    fft_.inverse(fk[a]);
-    force_[a] = mesh::GridD(n);
-    for (std::size_t i = 0; i < fk[a].size(); ++i) {
-      force_[a].data()[i] = fk[a][i].real();
+  t0 = util::wtime();
+  if (potential_.n() != n) potential_ = mesh::GridD(n);
+  for (auto& f : force_) {
+    if (f.n() != n) f = mesh::GridD(n);
+  }
+  if (spectral) {
+    for (int a = 0; a < 3; ++a) {
+      fft_.inverse_c2r(comp_k_[a], force_[a].data());
     }
   }
+  fft_.inverse_c2r(phi_k_, potential_.data());
+  times_.inverse = util::wtime() - t0;
 
+  if (!spectral) {
+    t0 = util::wtime();
+    if (opt_.gradient == PmGradient::kFd4) {
+      fd_gradient<4>();
+    } else {
+      fd_gradient<6>();
+    }
+    times_.gradient = util::wtime() - t0;
+  }
+
+  t0 = util::wtime();
   pool_->parallel_for_chunks(
       static_cast<std::int64_t>(pos.size()), 256, [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
           accel[i] = mesh::cic_interpolate3(force_[0], force_[1], force_[2], pos[i], box);
         }
       });
+  times_.interp = util::wtime() - t0;
+}
+
+// Centered finite-difference gradient of the real-space potential,
+// a = -grad phi, at 4th (Order=4) or 6th (Order=6) order with periodic wrap.
+template <int Order>
+void PmSolver::fd_gradient() {
+  static_assert(Order == 4 || Order == 6);
+  const int n = opt_.grid_n;
+  const double h = opt_.box / n;
+  // d/dx f ~ [c1 (f+1 - f-1) + c2 (f+2 - f-2) + c3 (f+3 - f-3)] / h;
+  // the minus of a = -grad phi is folded into the coefficients.
+  const double s1 = -(Order == 4 ? 8.0 / 12.0 : 45.0 / 60.0) / h;
+  const double s2 = -(Order == 4 ? -1.0 / 12.0 : -9.0 / 60.0) / h;
+  const double s3 = -(Order == 4 ? 0.0 : 1.0 / 60.0) / h;
+
+  // Periodic neighbor index tables (branch-free inner loops).
+  const int reach = Order / 2;
+  std::vector<int> off[7];  // off[r + 3][i] = wrap(i + r)
+  for (int r = -reach; r <= reach; ++r) {
+    if (r == 0) continue;
+    auto& tab = off[r + 3];
+    tab.resize(n);
+    for (int i = 0; i < n; ++i) tab[i] = potential_.wrap(i + r);
+  }
+
+  const double* phi = potential_.data().data();
+  const std::size_t nn = static_cast<std::size_t>(n) * n;
+  pool_->parallel_for_chunks(n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t ix = b; ix < e; ++ix) {
+      const double* xp1 = phi + off[4][ix] * nn;
+      const double* xm1 = phi + off[2][ix] * nn;
+      const double* xp2 = phi + off[5][ix] * nn;
+      const double* xm2 = phi + off[1][ix] * nn;
+      const double* xp3 = Order == 6 ? phi + off[6][ix] * nn : nullptr;
+      const double* xm3 = Order == 6 ? phi + off[0][ix] * nn : nullptr;
+      const std::size_t xrow = ix * nn;
+      for (int iy = 0; iy < n; ++iy) {
+        const std::size_t ry = static_cast<std::size_t>(iy) * n;
+        const std::size_t base = xrow + ry;
+        const double* p0 = phi + base;
+        const double* yp1 = phi + xrow + static_cast<std::size_t>(off[4][iy]) * n;
+        const double* ym1 = phi + xrow + static_cast<std::size_t>(off[2][iy]) * n;
+        const double* yp2 = phi + xrow + static_cast<std::size_t>(off[5][iy]) * n;
+        const double* ym2 = phi + xrow + static_cast<std::size_t>(off[1][iy]) * n;
+        const double* yp3 =
+            Order == 6 ? phi + xrow + static_cast<std::size_t>(off[6][iy]) * n : nullptr;
+        const double* ym3 =
+            Order == 6 ? phi + xrow + static_cast<std::size_t>(off[0][iy]) * n : nullptr;
+        double* fx = force_[0].data().data() + base;
+        double* fy = force_[1].data().data() + base;
+        double* fz = force_[2].data().data() + base;
+        const int* zp1 = off[4].data();
+        const int* zm1 = off[2].data();
+        const int* zp2 = off[5].data();
+        const int* zm2 = off[1].data();
+        for (int iz = 0; iz < n; ++iz) {
+          double ax = s1 * (xp1[ry + iz] - xm1[ry + iz]) + s2 * (xp2[ry + iz] - xm2[ry + iz]);
+          double ay = s1 * (yp1[iz] - ym1[iz]) + s2 * (yp2[iz] - ym2[iz]);
+          double az = s1 * (p0[zp1[iz]] - p0[zm1[iz]]) + s2 * (p0[zp2[iz]] - p0[zm2[iz]]);
+          if constexpr (Order == 6) {
+            ax += s3 * (xp3[ry + iz] - xm3[ry + iz]);
+            ay += s3 * (yp3[iz] - ym3[iz]);
+            az += s3 * (p0[off[6][iz]] - p0[off[0][iz]]);
+          }
+          fx[iz] = ax;
+          fy[iz] = ay;
+          fz[iz] = az;
+        }
+      }
+    }
+  });
 }
 
 }  // namespace hacc::gravity

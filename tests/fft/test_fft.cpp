@@ -101,6 +101,47 @@ TEST(Fft1DBasics, RealInputHasHermitianSpectrum) {
   }
 }
 
+TEST(Fft1DBasics, Long1024PointTransformMatchesDirectDft) {
+  // Regression for the twiddle tables: the former running `w *= wlen`
+  // product drifted by O(len * eps) on long stages; table entries are now
+  // evaluated directly per index, so a 1024-point transform has to track a
+  // direct O(n^2) DFT at near round-off tolerance.
+  constexpr int n = 1024;
+  util::CounterRng rng(29);
+  std::vector<cplx> x(n);
+  for (int i = 0; i < n; ++i) x[i] = {rng.normal(2 * i), rng.normal(2 * i + 1)};
+  std::vector<cplx> fast = x;
+  fft_1d(fast.data(), n, false);
+  double max_mag = 0.0;
+  for (const cplx& v : fast) max_mag = std::max(max_mag, std::abs(v));
+  for (int k = 0; k < n; ++k) {
+    cplx direct(0.0, 0.0);
+    for (int j = 0; j < n; ++j) {
+      // Reduce j*k mod n before forming the angle: huge arguments to
+      // sin/cos would dominate the very error this test pins down.
+      const double ang = -2.0 * M_PI * ((static_cast<long long>(j) * k) % n) / n;
+      direct += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    ASSERT_NEAR(fast[k].real(), direct.real(), 1e-10 * max_mag) << "bin " << k;
+    ASSERT_NEAR(fast[k].imag(), direct.imag(), 1e-10 * max_mag) << "bin " << k;
+  }
+}
+
+TEST(Twiddles, TableForLargeSizeServesSmallerTransforms) {
+  const Twiddles& big = twiddles_for(1024);
+  constexpr int n = 256;
+  util::CounterRng rng(41);
+  std::vector<cplx> a(n), b;
+  for (int i = 0; i < n; ++i) a[i] = {rng.normal(2 * i), rng.normal(2 * i + 1)};
+  b = a;
+  fft_1d(a.data(), n, false);            // cached table for exactly n
+  fft_1d(b.data(), n, false, big);       // shared prefix of the 1024 table
+  for (int i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(a[i].real(), b[i].real());
+    ASSERT_DOUBLE_EQ(a[i].imag(), b[i].imag());
+  }
+}
+
 TEST(IsPow2, Classification) {
   EXPECT_TRUE(is_pow2(2));
   EXPECT_TRUE(is_pow2(64));
@@ -160,6 +201,89 @@ TEST_P(Fft3DTest, PlaneWaveLandsInSingleBin) {
 TEST(Fft3DErrors, RejectsNonPow2) {
   util::ThreadPool pool(1);
   EXPECT_THROW(Fft3D(12, pool), std::invalid_argument);
+}
+
+class Fft3DR2C : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft3DR2C, ::testing::Values(2, 4, 8, 16, 32),
+                         [](const auto& info) { return "n" + std::to_string(info.param); });
+
+TEST_P(Fft3DR2C, MatchesComplexForwardOnHalfSpectrum) {
+  const int n = GetParam();
+  util::ThreadPool pool(4);
+  Fft3D fft(n, pool);
+  util::CounterRng rng(37);
+  std::vector<double> real(fft.size());
+  std::vector<cplx> full(fft.size());
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    real[i] = rng.normal(i);
+    full[i] = {real[i], 0.0};
+  }
+  std::vector<cplx> half;
+  fft.forward_r2c(real, half);
+  ASSERT_EQ(half.size(), fft.half_size());
+  fft.forward(full);
+  double max_mag = 0.0;
+  for (const cplx& v : full) max_mag = std::max(max_mag, std::abs(v));
+  const int nh = fft.half_nz();
+  for (int ix = 0; ix < n; ++ix) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int iz = 0; iz < nh; ++iz) {
+        const cplx want = full[(static_cast<std::size_t>(ix) * n + iy) * n + iz];
+        const cplx got = half[(static_cast<std::size_t>(ix) * n + iy) * nh + iz];
+        ASSERT_NEAR(got.real(), want.real(), 1e-12 * max_mag)
+            << ix << "," << iy << "," << iz;
+        ASSERT_NEAR(got.imag(), want.imag(), 1e-12 * max_mag)
+            << ix << "," << iy << "," << iz;
+      }
+    }
+  }
+}
+
+TEST_P(Fft3DR2C, RoundTripRecoversRealField) {
+  const int n = GetParam();
+  util::ThreadPool pool(2);
+  Fft3D fft(n, pool);
+  util::CounterRng rng(43);
+  std::vector<double> real(fft.size()), orig;
+  for (std::size_t i = 0; i < real.size(); ++i) real[i] = rng.normal(i);
+  orig = real;
+  double max_mag = 0.0;
+  for (double v : orig) max_mag = std::max(max_mag, std::abs(v));
+  std::vector<cplx> half;
+  fft.forward_r2c(real, half);
+  fft.inverse_c2r(half, real);
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    ASSERT_NEAR(real[i], orig[i], 1e-12 * max_mag) << i;
+  }
+}
+
+TEST(Fft3DR2CBasics, PlaneWaveLandsInSingleHalfBin) {
+  constexpr int n = 16;
+  util::ThreadPool pool(2);
+  Fft3D fft(n, pool);
+  const int kx = 3, ky = 14, kz = 5;  // kz <= n/2 so the mode is in the half
+  std::vector<double> real(fft.size());
+  for (int ix = 0; ix < n; ++ix) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int iz = 0; iz < n; ++iz) {
+        const double phase = 2.0 * M_PI * (kx * ix + ky * iy + kz * iz) / n;
+        real[(static_cast<std::size_t>(ix) * n + iy) * n + iz] = std::cos(phase);
+      }
+    }
+  }
+  std::vector<cplx> half;
+  fft.forward_r2c(real, half);
+  const int nh = fft.half_nz();
+  const double total = static_cast<double>(fft.size());
+  // cos splits between (kx,ky,kz) and its Hermitian partner; only the former
+  // lies in the stored half (its partner has iz = n - kz > n/2).
+  const std::size_t hot = (static_cast<std::size_t>(kx) * n + ky) * nh + kz;
+  for (std::size_t i = 0; i < half.size(); ++i) {
+    const double expect = (i == hot) ? 0.5 * total : 0.0;
+    ASSERT_NEAR(half[i].real(), expect, 1e-9 * total) << i;
+    ASSERT_NEAR(half[i].imag(), 0.0, 1e-9 * total) << i;
+  }
 }
 
 TEST(Fft3DThreads, ResultIndependentOfThreadCount) {

@@ -119,6 +119,140 @@ TEST(CicRoundTrip, DepositThenInterpolateAtSamePointIsPositive) {
   EXPECT_GT(cic_interpolate(grid, pos[0], box), 0.0);
 }
 
+TEST(CicStencil, BoundarySeamAndWrapCases) {
+  const int n = 8;
+  const double box = 8.0;  // cell size 1
+  // Exactly on the box boundary: lower cell is the last row, upper wraps.
+  CicStencil s = cic_stencil({8.0, 0.0, 0.0}, n, box);
+  EXPECT_EQ(s.i0[0], 7);
+  EXPECT_DOUBLE_EQ(s.w0[0], 0.5);
+  // Exactly at the origin: lower cell is -1 (wraps to n-1).
+  EXPECT_EQ(s.i0[1], -1);
+  EXPECT_DOUBLE_EQ(s.w0[1], 0.5);
+  // Just below zero, as after a drift that undershoots the wrap.
+  s = cic_stencil({-1e-12, 0.5, 0.5}, n, box);
+  EXPECT_EQ(s.i0[0], -1);
+  EXPECT_NEAR(s.w0[0], 0.5, 1e-11);
+  // Cell-center seam: at a center the particle owns exactly one cell...
+  s = cic_stencil({2.5, 2.5, 2.5}, n, box);
+  EXPECT_EQ(s.i0[0], 2);
+  EXPECT_DOUBLE_EQ(s.w0[0], 1.0);
+  // ...and on a cell edge it splits 50/50.
+  s = cic_stencil({3.0, 2.5, 2.5}, n, box);
+  EXPECT_EQ(s.i0[0], 2);
+  EXPECT_DOUBLE_EQ(s.w0[0], 0.5);
+}
+
+TEST(CicDeposit, EdgePositionsConserveMassExactly) {
+  const int n = 16;
+  const double box = 12.5;
+  // Boundary, just-negative, seam, and center positions: the stencil plus
+  // at_wrapped round trip must not lose or duplicate any mass.
+  const std::vector<Vec3d> pos = {
+      {box, box, box},                    // exactly on the upper boundary
+      {0.0, 0.0, 0.0},                    // exactly on the lower boundary
+      {-1e-13, box / 2, box / 2},         // just below 0 after a drift
+      {box - 1e-13, box / 2, box / 2},    // just below the upper boundary
+      {box / n * 4.0, box / 2, box / 2},  // exactly on a cell edge
+      {box / n * 4.5, box / 2, box / 2},  // exactly on a cell center
+  };
+  const std::vector<double> mass = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  GridD grid(n);
+  cic_deposit(grid, pos, mass, box);
+  EXPECT_NEAR(grid.sum(), 21.0, 1e-12 * 21.0);
+  for (double v : grid.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(CicAdjointness, DepositAndInterpolateAreTransposes) {
+  // CIC deposit and interpolation share the stencil weights, so
+  // <deposit(m delta_p), g> == m * interpolate(g, p) for any grid field g.
+  const int n = 8;
+  const double box = 20.0;
+  util::CounterRng rng(57);
+  GridD field(n);
+  for (std::size_t i = 0; i < field.data().size(); ++i) {
+    field.data()[i] = rng.normal(i);
+  }
+  for (int t = 0; t < 40; ++t) {
+    // Mix random interior points with exact boundary/seam positions.
+    Vec3d p;
+    if (t % 4 == 0) {
+      const double cell = box / n;
+      p = {cell * (t % n), t % 8 == 0 ? 0.0 : box - 1e-13, cell * (0.5 + t % n)};
+    } else {
+      p = {box * rng.uniform(3 * t), box * rng.uniform(3 * t + 1),
+           box * rng.uniform(3 * t + 2)};
+    }
+    const double m = 1.0 + rng.uniform(500 + t);
+    GridD delta(n);
+    cic_deposit(delta, std::vector<Vec3d>{p}, std::vector<double>{m}, box);
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < delta.data().size(); ++i) {
+      lhs += delta.data()[i] * field.data()[i];
+    }
+    const double rhs = m * cic_interpolate(field, p, box);
+    ASSERT_NEAR(lhs, rhs, 1e-12 * std::max(1.0, std::abs(rhs))) << t;
+  }
+}
+
+TEST(CicDepositor, MatchesSerialDeposit) {
+  const int n = 16;
+  const double box = 40.0;
+  util::CounterRng rng(61);
+  const int np = 6000;  // above the parallel threshold
+  std::vector<Vec3d> pos(np);
+  std::vector<double> mass(np);
+  for (int i = 0; i < np; ++i) {
+    pos[i] = {box * rng.uniform(3 * i), box * rng.uniform(3 * i + 1),
+              box * rng.uniform(3 * i + 2)};
+    mass[i] = 0.5 + rng.uniform(70'000 + i);
+  }
+  // A few adversarial stragglers on boundaries and slab seams.
+  pos[0] = {box, 0.0, box};
+  pos[1] = {-1e-13, box / 2, box / 2};
+  pos[2] = {box / 2, box / 2, box / 2};
+
+  GridD serial(n), parallel(n);
+  cic_deposit(serial, pos, mass, box);
+  util::ThreadPool pool(4);
+  CicDepositor dep(pool);
+  dep.deposit(parallel, pos, mass, box);
+
+  double max_cell = 0.0;
+  for (double v : serial.data()) max_cell = std::max(max_cell, std::abs(v));
+  for (std::size_t i = 0; i < serial.data().size(); ++i) {
+    ASSERT_NEAR(parallel.data()[i], serial.data()[i], 1e-12 * max_cell) << i;
+  }
+  EXPECT_NEAR(parallel.sum(), serial.sum(), 1e-12 * serial.sum());
+
+  // The slab layout depends only on the grid, phases are ordered, and each
+  // cell is written by exactly one slab per phase — so the scatter is
+  // bit-for-bit deterministic in the thread count, 1 worker included.
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    util::ThreadPool poolw(workers);
+    GridD again(n);
+    CicDepositor depw(poolw);
+    depw.deposit(again, pos, mass, box);
+    for (std::size_t i = 0; i < again.data().size(); ++i) {
+      ASSERT_EQ(again.data()[i], parallel.data()[i]) << i << " @" << workers;
+    }
+  }
+}
+
+TEST(CicDepositor, AccumulatesLikeSerialOverload) {
+  // deposit() adds on top of existing grid contents, matching cic_deposit.
+  const int n = 8;
+  const double box = 8.0;
+  util::ThreadPool pool(2);
+  GridD grid(n);
+  grid.fill(0.25);
+  std::vector<Vec3d> pos(2500, Vec3d{4.0, 4.0, 4.0});
+  std::vector<double> mass(2500, 1.0 / 2500.0);
+  CicDepositor dep(pool);
+  dep.deposit(grid, pos, mass, box);
+  EXPECT_NEAR(grid.sum(), 0.25 * n * n * n + 1.0, 1e-11);
+}
+
 TEST(CicInterpolate3, GathersAllComponents) {
   GridD gx(4), gy(4), gz(4);
   gx.fill(1.0);
