@@ -90,4 +90,69 @@ bool read_checkpoint(const std::string& path, ParticleSet& p, double& box,
   return ok;
 }
 
+namespace {
+
+// On-disk header of a v2 restart checkpoint.  All members are 8-byte sized
+// and aligned, so the struct has no padding surprises across compilers.
+struct RunCheckpointHeader {
+  std::uint64_t magic = CheckpointHeader{}.magic;
+  std::uint64_t version = 2;
+  std::uint64_t n_dm = 0;
+  std::uint64_t n_gas = 0;
+  double box = 0.0;
+  double scale_factor = 0.0;
+  std::uint64_t step = 0;
+  std::uint64_t config_hash = 0;
+};
+static_assert(sizeof(RunCheckpointHeader) == 8 * sizeof(std::uint64_t));
+
+}  // namespace
+
+bool write_run_checkpoint(const std::string& path, const ParticleSet& dm,
+                          const ParticleSet& gas, const RunCheckpointMeta& meta) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  RunCheckpointHeader hdr;
+  hdr.n_dm = dm.size();
+  hdr.n_gas = gas.size();
+  hdr.box = meta.box;
+  hdr.scale_factor = meta.scale_factor;
+  hdr.step = meta.step;
+  hdr.config_hash = meta.config_hash;
+  f.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  for_each_field(dm, [&f](const auto& v) { write_vec(f, v); });
+  for_each_field(gas, [&f](const auto& v) { write_vec(f, v); });
+  return static_cast<bool>(f);
+}
+
+bool read_run_checkpoint(const std::string& path, ParticleSet& dm,
+                         ParticleSet& gas, RunCheckpointMeta& meta) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(f.tellg());
+  if (file_size < sizeof(RunCheckpointHeader)) return false;
+  f.seekg(0, std::ios::beg);
+  RunCheckpointHeader hdr;
+  f.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!f || hdr.magic != CheckpointHeader{}.magic || hdr.version != 2) {
+    return false;
+  }
+  // Same size discipline as the v1 reader: both species' payloads must match
+  // the file exactly before any allocation happens.
+  const std::uint64_t payload = file_size - sizeof(hdr);
+  const std::uint64_t ppb = per_particle_bytes();
+  if (payload % ppb != 0 || hdr.n_dm + hdr.n_gas != payload / ppb) return false;
+  dm.resize(hdr.n_dm);
+  gas.resize(hdr.n_gas);
+  meta.box = hdr.box;
+  meta.scale_factor = hdr.scale_factor;
+  meta.step = hdr.step;
+  meta.config_hash = hdr.config_hash;
+  bool ok = true;
+  for_each_field(dm, [&f, &ok](auto& v) { ok = ok && read_vec(f, v); });
+  for_each_field(gas, [&f, &ok](auto& v) { ok = ok && read_vec(f, v); });
+  return ok;
+}
+
 }  // namespace hacc::core

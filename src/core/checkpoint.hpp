@@ -1,30 +1,64 @@
 #pragma once
 
-// Binary particle checkpoints.  Besides restart support, these drive the
-// standalone-kernel workflow of §7.2: hot spots extracted into standalone
-// applications driven by checkpoint files, so a single kernel can be
-// recompiled and re-run quickly while experimenting with variants.
+/// \file
+/// Binary particle checkpoints.  Two formats share one magic number:
+///
+/// - **v1** (`write_checkpoint`/`read_checkpoint`): one ParticleSet plus box
+///   and scale factor.  Besides restart support, these drive the
+///   standalone-kernel workflow of §7.2: hot spots extracted into standalone
+///   applications driven by checkpoint files, so a single kernel can be
+///   recompiled and re-run quickly while experimenting with variants.
+/// - **v2** (`write_run_checkpoint`/`read_run_checkpoint`): a full solver
+///   restart record — both species, the step counter, the scale factor, and
+///   a config signature so a resume against a different configuration is
+///   rejected loudly instead of silently diverging.
+///
+/// All readers bound the header's particle counts against the actual file
+/// size before allocating, so corrupt or truncated files fail cleanly.
 
+#include <cstdint>
 #include <string>
 
 #include "core/particles.hpp"
 
 namespace hacc::core {
 
+/// On-disk header of a v1 single-species checkpoint.
 struct CheckpointHeader {
-  std::uint64_t magic = 0x4352'4b48'4143'4321ull;  // "CRKHACC!"
+  std::uint64_t magic = 0x4352'4b48'4143'4321ull;  ///< "CRKHACC!"
   std::uint32_t version = 1;
   std::uint64_t n_particles = 0;
   double box = 0.0;
   double scale_factor = 0.0;
 };
 
-// Writes the full hydro state of `p`; returns false on I/O failure.
+/// Writes the full hydro state of `p`; returns false on I/O failure.
 bool write_checkpoint(const std::string& path, const ParticleSet& p, double box,
                       double scale_factor);
 
-// Reads a checkpoint; returns false on I/O failure or format mismatch.
+/// Reads a v1 checkpoint; returns false on I/O failure or format mismatch.
 bool read_checkpoint(const std::string& path, ParticleSet& p, double& box,
                      double& scale_factor);
+
+/// Run metadata carried by a v2 restart checkpoint alongside the two
+/// particle species.
+struct RunCheckpointMeta {
+  double box = 0.0;
+  double scale_factor = 0.0;
+  std::uint64_t step = 0;         ///< Solver::steps_taken() at write time
+  std::uint64_t config_hash = 0;  ///< config_signature() of the writing run
+};
+
+/// Writes a v2 restart checkpoint (dark matter + baryons + run metadata);
+/// returns false on I/O failure.
+bool write_run_checkpoint(const std::string& path, const ParticleSet& dm,
+                          const ParticleSet& gas, const RunCheckpointMeta& meta);
+
+/// Reads a v2 restart checkpoint; returns false on I/O failure or format
+/// mismatch (wrong magic/version, payload size inconsistent with the header
+/// counts).  Config-hash validation is the caller's job — compare
+/// `meta.config_hash` against config_signature() of the resuming run.
+bool read_run_checkpoint(const std::string& path, ParticleSet& dm,
+                         ParticleSet& gas, RunCheckpointMeta& meta);
 
 }  // namespace hacc::core

@@ -1,10 +1,12 @@
 #pragma once
 
-// Kernel launch registry: CRK-HACC's launch abstraction assumes kernels can
-// be referenced BY NAME (§4.2) — the property that forced the migration
-// pipeline to emit function objects instead of SYCLomatic's unnamed lambdas.
-// The registry maps timer names (upGeo, upCor, ...) to runnable closures so
-// tools like the standalone-kernel driver can launch any kernel dynamically.
+/// \file
+/// Kernel launch registry: CRK-HACC's launch abstraction assumes kernels
+/// can be referenced BY NAME (§4.2) — the property that forced the
+/// migration pipeline to emit function objects instead of SYCLomatic's
+/// unnamed lambdas.  The registry maps timer names (upGeo, upCor, ...) to
+/// runnable closures so tools like the standalone-kernel driver can launch
+/// any kernel dynamically.
 
 #include <functional>
 #include <map>
@@ -19,14 +21,16 @@
 
 namespace hacc::core {
 
+/// Name -> runnable-kernel map.
 class KernelRegistry {
  public:
   using Runner = std::function<xsycl::LaunchStats(
       xsycl::Queue&, ParticleSet&, const tree::RcbTree&,
       std::span<const tree::LeafPair>, const sph::HydroOptions&)>;
 
-  // Registry pre-populated with the five hot-spot kernels under the paper's
-  // timer names: upGeo, upCor, upBarEx, upBarAc, upBarAcF, upBarDu, upBarDuF.
+  /// Registry pre-populated with the five hot-spot kernels under the
+  /// paper's timer names: upGeo, upCor, upBarEx, upBarAc, upBarAcF,
+  /// upBarDu, upBarDuF.
   static KernelRegistry& instance();
 
   void register_kernel(const std::string& name, Runner runner);
@@ -34,7 +38,7 @@ class KernelRegistry {
   bool has(const std::string& name) const { return runners_.count(name) != 0; }
   std::vector<std::string> names() const;
 
-  // Launches the named kernel; throws std::out_of_range for unknown names.
+  /// Launches the named kernel; throws std::out_of_range for unknown names.
   xsycl::LaunchStats run(const std::string& name, xsycl::Queue& q, ParticleSet& p,
                          const tree::RcbTree& tree,
                          std::span<const tree::LeafPair> pairs,

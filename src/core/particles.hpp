@@ -1,9 +1,10 @@
 #pragma once
 
-// Particle storage.  Structure-of-arrays in float, mirroring the layout the
-// GPU kernels consume.  CRK-HACC models two species (§3.1): dark matter
-// responds to gravity only; baryons additionally carry the hydro state the
-// five hot-spot kernels update.
+/// \file
+/// Particle storage.  Structure-of-arrays in float, mirroring the layout the
+/// GPU kernels consume.  CRK-HACC models two species (§3.1): dark matter
+/// responds to gravity only; baryons additionally carry the hydro state the
+/// five hot-spot kernels update.
 
 #include <cstddef>
 #include <cstdint>
@@ -13,58 +14,67 @@
 
 namespace hacc::core {
 
-// Indices into the per-particle CRK coefficient block (16 floats).
+/// Indices into the per-particle CRK coefficient block (16 floats).
 namespace crk_idx {
-inline constexpr int kA = 0;                           // scalar correction A
-inline constexpr int kB = 1;                           // B vector (3)
-inline constexpr int kdA = 4;                          // ∇A (3)
-inline constexpr int kdB = 7;                          // ∇B tensor (9): [7 + 3*row + col]
+inline constexpr int kA = 0;                           ///< scalar correction A
+inline constexpr int kB = 1;                           ///< B vector (3)
+inline constexpr int kdA = 4;                          ///< ∇A (3)
+inline constexpr int kdB = 7;                          ///< ∇B tensor (9): [7 + 3*row + col]
 inline constexpr int kCount = 16;
 inline constexpr int dB(int row, int col) { return kdB + 3 * row + col; }
 }  // namespace crk_idx
 
-// Indices into the per-particle moment scratch block (40 floats) that the
-// Corrections kernel accumulates before solving for the CRK coefficients.
+/// Indices into the per-particle moment scratch block (40 floats) that the
+/// Corrections kernel accumulates before solving for the CRK coefficients.
 namespace mom_idx {
-inline constexpr int kM0 = 0;    // Σ V_j W_ij
-inline constexpr int kM1 = 1;    // Σ V_j x_ij W_ij (3)
-inline constexpr int kM2 = 4;    // Σ V_j x_ij⊗x_ij W_ij (sym: xx,xy,xz,yy,yz,zz)
-inline constexpr int kDM0 = 10;  // ∂γ m0 (3)
-inline constexpr int kDM1 = 13;  // ∂γ m1_α: [13 + 3*α + γ] (9)
-inline constexpr int kDM2 = 22;  // ∂γ m2_c (c in sym order): [22 + 3*c + γ] (18)
+inline constexpr int kM0 = 0;    ///< Σ V_j W_ij
+inline constexpr int kM1 = 1;    ///< Σ V_j x_ij W_ij (3)
+inline constexpr int kM2 = 4;    ///< Σ V_j x_ij⊗x_ij W_ij (sym: xx,xy,xz,yy,yz,zz)
+inline constexpr int kDM0 = 10;  ///< ∂γ m0 (3)
+inline constexpr int kDM1 = 13;  ///< ∂γ m1_α: [13 + 3*α + γ] (9)
+inline constexpr int kDM2 = 22;  ///< ∂γ m2_c (c in sym order): [22 + 3*c + γ] (18)
 inline constexpr int kCount = 40;
 inline constexpr int m2(int c) { return kM2 + c; }
 inline constexpr int dm1(int alpha, int gamma) { return kDM1 + 3 * alpha + gamma; }
 inline constexpr int dm2(int comp, int gamma) { return kDM2 + 3 * comp + gamma; }
 }  // namespace mom_idx
 
+/// One species' full state: phase space plus the hydro fields and kernel
+/// outputs the CRK-SPH pipeline reads and writes.  Checkpoints serialize
+/// every field, so a restored set reproduces the writer's state exactly.
 struct ParticleSet {
-  // Phase space (comoving positions in [0, box); peculiar velocities).
+  /// @name Phase space (comoving positions in [0, box); peculiar velocities)
+  /// @{
   std::vector<float> x, y, z;
   std::vector<float> vx, vy, vz;
   std::vector<float> mass;
+  /// @}
 
-  // Hydro primary state.
-  std::vector<float> h;    // smoothing length
-  std::vector<float> V;    // volume from the Geometry kernel
-  std::vector<float> rho;  // density from the Extras kernel
-  std::vector<float> u;    // specific internal energy
-  std::vector<float> P;    // pressure (EOS)
-  std::vector<float> cs;   // sound speed (EOS)
+  /// @name Hydro primary state
+  /// @{
+  std::vector<float> h;    ///< smoothing length
+  std::vector<float> V;    ///< volume from the Geometry kernel
+  std::vector<float> rho;  ///< density from the Extras kernel
+  std::vector<float> u;    ///< specific internal energy
+  std::vector<float> P;    ///< pressure (EOS)
+  std::vector<float> cs;   ///< sound speed (EOS)
+  /// @}
 
-  // CRK correction coefficients: [crk_idx::kCount * i + k].
+  /// CRK correction coefficients: [crk_idx::kCount * i + k].
   std::vector<float> crk;
-  // Moment accumulation scratch: [mom_idx::kCount * i + k].
+  /// Moment accumulation scratch: [mom_idx::kCount * i + k].
   std::vector<float> moments;
 
-  // Geometry scratch: Σ_j W_ij per particle.
+  /// Geometry scratch: Σ_j W_ij per particle.
   std::vector<float> m0;
 
-  // Kernel outputs.
-  std::vector<float> ax, ay, az;  // momentum derivative (Acceleration)
-  std::vector<float> du;          // internal-energy derivative (Energy)
-  std::vector<float> vsig;        // max signal velocity (atomic fetch_max)
-  std::vector<float> dvel;        // velocity gradient, 9 per particle [9*i + r*3 + c]
+  /// @name Kernel outputs
+  /// @{
+  std::vector<float> ax, ay, az;  ///< momentum derivative (Acceleration)
+  std::vector<float> du;          ///< internal-energy derivative (Energy)
+  std::vector<float> vsig;        ///< max signal velocity (atomic fetch_max)
+  std::vector<float> dvel;        ///< velocity gradient, 9 per particle [9*i + r*3 + c]
+  /// @}
 
   std::size_t size() const { return x.size(); }
 
@@ -81,7 +91,7 @@ struct ParticleSet {
   util::Vec3d pos_of(std::size_t i) const { return {x[i], y[i], z[i]}; }
   util::Vec3d vel_of(std::size_t i) const { return {vx[i], vy[i], vz[i]}; }
 
-  // Gathers all positions as Vec3d (tree building, reference kernels).
+  /// Gathers all positions as Vec3d (tree building, reference kernels).
   std::vector<util::Vec3d> positions() const {
     std::vector<util::Vec3d> p(size());
     for (std::size_t i = 0; i < size(); ++i) p[i] = pos_of(i);

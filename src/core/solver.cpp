@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <optional>
+#include <stdexcept>
+
+#include "util/rng.hpp"
 
 namespace hacc::core {
 
@@ -32,6 +36,40 @@ bool parse_gravity_backend(const std::string& name, GravityBackend& out) {
   return true;
 }
 
+std::uint64_t config_signature(const SimConfig& cfg) {
+  std::uint64_t h = 0x4352'4b48'4143'4321ull;  // "CRKHACC!"
+  const auto mix = [&h](std::uint64_t v) { h = util::splitmix64(h ^ v); };
+  const auto mix_d = [&](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(cfg.np_side));
+  mix_d(cfg.box);
+  mix_d(cfg.z_init);
+  mix_d(cfg.z_final);
+  mix(static_cast<std::uint64_t>(cfg.n_steps));
+  mix_d(cfg.cosmo.omega_m);
+  mix_d(cfg.cosmo.h);
+  mix_d(cfg.cosmo.n_s);
+  mix_d(cfg.sigma_norm);
+  mix_d(cfg.r_norm);
+  mix(cfg.seed);
+  mix(cfg.hydro ? 1u : 0u);
+  mix_d(cfg.baryon_fraction);
+  mix_d(cfg.u_init);
+  mix(static_cast<std::uint64_t>(cfg.pm_grid));
+  mix(static_cast<std::uint64_t>(cfg.pm_gradient));
+  mix_d(cfg.r_split_cells);
+  mix_d(cfg.pp_cut_factor);
+  mix(static_cast<std::uint64_t>(cfg.poly_order));
+  mix_d(cfg.softening_cells);
+  mix(static_cast<std::uint64_t>(cfg.gravity_backend));
+  mix_d(cfg.fmm_theta);
+  mix(static_cast<std::uint64_t>(cfg.leaf_size));
+  return h;
+}
+
 namespace {
 
 // Hydro options for one kernel launch, threading the per-kernel variant.
@@ -51,6 +89,7 @@ Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
   a_ = ic::Cosmology::a_of_z(cfg_.z_init);
   const double a_final = ic::Cosmology::a_of_z(cfg_.z_final);
   da_ = (a_final - a_) / cfg_.n_steps;
+  h0_ = sph::kEta * cfg_.box / cfg_.np_side;
 
   if (cfg_.gravity_backend == GravityBackend::kFmm) {
     // Mesh-free: the multipole far field replaces the PM solve, so the near
@@ -71,7 +110,19 @@ Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
   }
 }
 
+void Solver::require_initialized(const char* what) const {
+  if (!initialized_) {
+    throw std::logic_error(std::string("Solver::") + what +
+                           " requires initialize() or restore() first");
+  }
+}
+
 void Solver::initialize() {
+  if (initialized_) {
+    throw std::logic_error(
+        "Solver::initialize() called on an initialized solver; it would "
+        "silently discard the evolved particle state");
+  }
   const ic::PowerSpectrum pk(cfg_.cosmo, cfg_.sigma_norm, cfg_.r_norm);
   ic::ZeldovichOptions zopt;
   zopt.np_side = cfg_.np_side;
@@ -112,8 +163,58 @@ void Solver::initialize() {
     gas_.resize(0);
   }
 
+  initialized_ = true;
   compute_forces(/*corrector=*/false);
   steps_taken_ = 0;
+}
+
+void Solver::restore(ParticleSet dm, ParticleSet gas, double scale_factor,
+                     int steps_taken) {
+  if (initialized_) {
+    throw std::logic_error(
+        "Solver::restore() called on an initialized solver; it would "
+        "silently discard the evolved particle state");
+  }
+  const std::size_t n = static_cast<std::size_t>(cfg_.np_side) * cfg_.np_side *
+                        cfg_.np_side;
+  if (dm.size() != n) {
+    throw std::invalid_argument(
+        "Solver::restore(): dark-matter particle count does not match "
+        "np_side^3 of the configuration");
+  }
+  if (gas.size() != (cfg_.hydro ? n : 0)) {
+    throw std::invalid_argument(
+        "Solver::restore(): baryon particle count does not match the "
+        "configuration's hydro setting");
+  }
+  if (!(scale_factor > 0.0)) {
+    throw std::invalid_argument("Solver::restore(): scale factor must be > 0");
+  }
+  dm_ = std::move(dm);
+  gas_ = std::move(gas);
+  a_ = scale_factor;
+  steps_taken_ = steps_taken;
+  initialized_ = true;
+  forces_ready_ = false;  // recomputed lazily from the restored state
+  // KDK evaluates the corrector forces from the *mid-step* state (pre-kick
+  // velocities and internal energies), so they cannot be recomputed from the
+  // checkpointed end-of-step state.  The checkpoint stores every hydro
+  // kernel output instead (ax, du, vsig, ...); the first force evaluation
+  // after a restore keeps them and recomputes only gravity, which is a pure
+  // function of the checkpointed positions.
+  use_restored_hydro_forces_ = true;
+}
+
+void Solver::prepare_forces() {
+  require_initialized("prepare_forces()");
+  if (!forces_ready_) compute_forces(/*corrector=*/false);
+}
+
+void Solver::set_time_step(double da) {
+  if (!(da > 0.0)) {
+    throw std::invalid_argument("Solver::set_time_step(): da must be > 0");
+  }
+  da_ = da;
 }
 
 void Solver::update_smoothing_lengths() {
@@ -152,7 +253,10 @@ void Solver::assemble_gravity_inputs() {
 
 void Solver::compute_forces(bool corrector) {
   // ---- Hydro (baryons) ----
-  if (cfg_.hydro && gas_.size() > 0) {
+  if (use_restored_hydro_forces_) {
+    // Restart: the checkpointed kernel outputs stand in for this evaluation.
+    use_restored_hydro_forces_ = false;
+  } else if (cfg_.hydro && gas_.size() > 0) {
     update_smoothing_lengths();
     sph::PipelineOptions popt;
     popt.leaf_size = cfg_.leaf_size;
@@ -288,7 +392,9 @@ void Solver::drift(double a0, double a1) {
   apply(gas_, cfg_.hydro);
 }
 
-void Solver::step() {
+StepStats Solver::step() {
+  require_initialized("step()");
+  const double t0 = util::wtime();
   if (!forces_ready_) compute_forces(false);
   const double a0 = a_;
   const double a1 = a_ + da_;
@@ -300,11 +406,73 @@ void Solver::step() {
   compute_forces(/*corrector=*/true);
   kick(cfg_.cosmo.kick_factor(amid, a1), a1);
   ++steps_taken_;
+
+  StepStats stats;
+  stats.step = steps_taken_;
+  stats.a0 = a0;
+  stats.a1 = a1;
+  stats.da = da_;
+  stats.z = redshift();
+  stats.wall_seconds = util::wtime() - t0;
+  stats.max_velocity = max_velocity();
+  stats.max_acceleration = max_acceleration();
+  const auto tally = [&stats](const ParticleSet& p, bool hydro) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double m = p.mass[i];
+      const double v2 = double(p.vx[i]) * p.vx[i] + double(p.vy[i]) * p.vy[i] +
+                        double(p.vz[i]) * p.vz[i];
+      stats.kinetic_energy += 0.5 * m * v2;
+      if (hydro) stats.thermal_energy += m * p.u[i];
+    }
+  };
+  tally(dm_, false);
+  tally(gas_, cfg_.hydro);
+  return stats;
 }
 
 void Solver::run() {
   initialize();
   for (int s = 0; s < cfg_.n_steps; ++s) step();
+}
+
+double Solver::max_velocity() const {
+  double v2max = 0.0;
+  for (const ParticleSet* p : {&dm_, &gas_}) {
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      const double v2 = double(p->vx[i]) * p->vx[i] +
+                        double(p->vy[i]) * p->vy[i] +
+                        double(p->vz[i]) * p->vz[i];
+      v2max = std::max(v2max, v2);
+    }
+  }
+  return std::sqrt(v2max);
+}
+
+double Solver::max_acceleration() const {
+  if (!forces_ready_) {
+    throw std::logic_error(
+        "Solver::max_acceleration() requires a force evaluation "
+        "(prepare_forces())");
+  }
+  // The same per-particle acceleration kick() applies, at the current a.
+  double g2max = 0.0;
+  const auto scan = [&](const ParticleSet& p, std::size_t base, bool hydro) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const std::size_t g = base + i;
+      double ax = (grav_accel_pm_[g].x + grav_ax_[g]) / a_;
+      double ay = (grav_accel_pm_[g].y + grav_ay_[g]) / a_;
+      double az = (grav_accel_pm_[g].z + grav_az_[g]) / a_;
+      if (hydro) {
+        ax += p.ax[i];
+        ay += p.ay[i];
+        az += p.az[i];
+      }
+      g2max = std::max(g2max, ax * ax + ay * ay + az * az);
+    }
+  };
+  scan(dm_, 0, false);
+  scan(gas_, dm_.size(), cfg_.hydro);
+  return std::sqrt(g2max);
 }
 
 Solver::Diagnostics Solver::diagnostics() const {

@@ -1,18 +1,19 @@
 #pragma once
 
-// Particle-mesh long-range gravity: CIC deposit -> real-to-complex FFT ->
-// filtered inverse-Laplacian Green's function on the half spectrum ->
-// gradient -> CIC interpolation.  This is the distributed-FFT Poisson path
-// of HACC (§3.1), realized with the in-house threaded FFT at single-node
-// scale.
-//
-// The density field is real, so the spectral pipeline runs on an
-// n x n x (n/2+1) half spectrum (Hermitian symmetry) instead of full
-// complex grids.  The force gradient is selectable: the spectral reference
-// multiplies phi(k) by -i k_a per component (three half-spectrum inverses),
-// while the fd4/fd6 paths inverse-transform phi once and differentiate the
-// real-space potential with a 4th/6th-order centered stencil — trading a
-// small, documented force error for 4x fewer inverse transforms.
+/// \file
+/// Particle-mesh long-range gravity: CIC deposit -> real-to-complex FFT ->
+/// filtered inverse-Laplacian Green's function on the half spectrum ->
+/// gradient -> CIC interpolation.  This is the distributed-FFT Poisson path
+/// of HACC (§3.1), realized with the in-house threaded FFT at single-node
+/// scale.
+///
+/// The density field is real, so the spectral pipeline runs on an
+/// n x n x (n/2+1) half spectrum (Hermitian symmetry) instead of full
+/// complex grids.  The force gradient is selectable: the spectral reference
+/// multiplies phi(k) by -i k_a per component (three half-spectrum inverses),
+/// while the fd4/fd6 paths inverse-transform phi once and differentiate the
+/// real-space potential with a 4th/6th-order centered stencil — trading a
+/// small, documented force error for 4x fewer inverse transforms.
 
 #include <span>
 #include <string>
@@ -25,43 +26,46 @@
 
 namespace hacc::gravity {
 
-// How real-space forces are derived from the spectral potential phi(k).
+/// How real-space forces are derived from the spectral potential phi(k).
 enum class PmGradient {
-  kSpectral,  // -i k_a phi(k), one inverse per component (accuracy reference)
-  kFd4,       // one inverse of phi(k) + 4th-order finite-difference gradient
-  kFd6,       // one inverse of phi(k) + 6th-order finite-difference gradient
+  kSpectral,  ///< -i k_a phi(k), one inverse per component (accuracy reference)
+  kFd4,       ///< one inverse of phi(k) + 4th-order finite-difference gradient
+  kFd6,       ///< one inverse of phi(k) + 6th-order finite-difference gradient
 };
 
+/// The config-key spelling of a gradient mode ("spectral" | "fd4" | "fd6").
 const char* to_string(PmGradient g);
 
-// Parses "spectral" | "fd4" | "fd6"; returns false (out untouched) for
-// unknown names — the util::Config wiring used by examples and tools.
+/// Parses "spectral" | "fd4" | "fd6"; returns false (out untouched) for
+/// unknown names — the util::Config wiring used by examples and tools.
 bool parse_pm_gradient(const std::string& name, PmGradient& out);
 
+/// Mesh geometry and physics knobs of one PM solve.
 struct PmOptions {
-  int grid_n = 32;          // mesh cells per side (power of two)
-  double box = 1.0;         // periodic box size
-  double r_split = 0.0;     // Gaussian split scale; 0 disables the filter
-  double G = 1.0;           // gravitational constant in code units
-  bool deconvolve_cic = true;  // divide by the CIC window twice
+  int grid_n = 32;          ///< mesh cells per side (power of two)
+  double box = 1.0;         ///< periodic box size
+  double r_split = 0.0;     ///< Gaussian split scale; 0 disables the filter
+  double G = 1.0;           ///< gravitational constant in code units
+  bool deconvolve_cic = true;  ///< divide by the CIC window twice
   PmGradient gradient = PmGradient::kSpectral;
 };
 
-// Wall-clock breakdown of the last compute_forces call, in seconds.
+/// Wall-clock breakdown of the last compute_forces call, in seconds.
 struct PmPhaseTimes {
-  double deposit = 0.0;   // CIC scatter of particle masses
-  double forward = 0.0;   // r2c forward transform
-  double green = 0.0;     // Green's function + force spectra on the half grid
-  double inverse = 0.0;   // c2r inverse transform(s)
-  double gradient = 0.0;  // finite-difference gradient (fd4/fd6 only)
-  double interp = 0.0;    // CIC gather of accelerations
+  double deposit = 0.0;   ///< CIC scatter of particle masses
+  double forward = 0.0;   ///< r2c forward transform
+  double green = 0.0;     ///< Green's function + force spectra on the half grid
+  double inverse = 0.0;   ///< c2r inverse transform(s)
+  double gradient = 0.0;  ///< finite-difference gradient (fd4/fd6 only)
+  double interp = 0.0;    ///< CIC gather of accelerations
   double total() const {
     return deposit + forward + green + inverse + gradient + interp;
   }
 };
 
-// Not reentrant: compute_forces works in member workspace buffers reused
-// across calls, so concurrent calls need one PmSolver instance per caller.
+/// The long-range Poisson solver.  Not reentrant: compute_forces works in
+/// member workspace buffers reused across calls, so concurrent calls need
+/// one PmSolver instance per caller.
 class PmSolver {
  public:
   explicit PmSolver(const PmOptions& opt,
@@ -69,20 +73,20 @@ class PmSolver {
 
   const PmOptions& options() const { return opt_; }
 
-  // The gravitational "constant" varies with the scale factor in comoving
-  // coordinates; the solver rescales it per force evaluation.
+  /// The gravitational "constant" varies with the scale factor in comoving
+  /// coordinates; the solver rescales it per force evaluation.
   void set_gravitational_constant(double g) { opt_.G = g; }
 
-  // Computes long-range accelerations at the particle positions.
-  // mass and pos must have equal lengths; accel is overwritten.
+  /// Computes long-range accelerations at the particle positions.
+  /// mass and pos must have equal lengths; accel is overwritten.
   void compute_forces(std::span<const util::Vec3d> pos, std::span<const double> mass,
                       std::span<util::Vec3d> accel);
 
-  // The gravitational potential grid from the last compute_forces call
-  // (diagnostics / tests).
+  /// The gravitational potential grid from the last compute_forces call
+  /// (diagnostics / tests).
   const mesh::GridD& potential() const { return potential_; }
 
-  // Phase timing of the last compute_forces call (bench / diagnostics).
+  /// Phase timing of the last compute_forces call (bench / diagnostics).
   const PmPhaseTimes& phase_times() const { return times_; }
 
  private:

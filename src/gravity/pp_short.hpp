@@ -1,9 +1,10 @@
 #pragma once
 
-// Short-range particle-particle gravity: the direct-comparison kernel branch
-// of HACC (§3.1), executed through the same half-warp machinery as the SPH
-// kernels so the full application exercises the xsycl communication
-// variants end to end.
+/// \file
+/// Short-range particle-particle gravity: the direct-comparison kernel
+/// branch of HACC (§3.1), executed through the same half-warp machinery as
+/// the SPH kernels so the full application exercises the xsycl
+/// communication variants end to end.
 
 #include <span>
 
@@ -14,38 +15,40 @@
 
 namespace hacc::gravity {
 
-// Flat array view of the combined (dark matter + baryon) particle state the
-// gravity solver operates on.
+/// Flat array view of the combined (dark matter + baryon) particle state
+/// the gravity solver operates on.
 struct GravityArrays {
   const float* x = nullptr;
   const float* y = nullptr;
   const float* z = nullptr;
   const float* mass = nullptr;
-  float* ax = nullptr;  // accumulated (not zeroed here)
+  float* ax = nullptr;  ///< accumulated (not zeroed here)
   float* ay = nullptr;
   float* az = nullptr;
   std::size_t n = 0;
 };
 
+/// Physics and launch knobs of the short-range kernel.
 struct PpOptions {
   float box = 1.0f;
   float G = 1.0f;
-  float softening = 0.0f;  // Plummer softening length
+  float softening = 0.0f;  ///< Plummer softening length
   xsycl::CommVariant variant = xsycl::CommVariant::kSelect;
   xsycl::LaunchConfig launch;
 };
 
+/// Flops per particle-pair interaction (cost model / op counting).
 inline constexpr double kGravityPpFlops = 40.0;
 
-// Runs the short-range kernel over the leaf-pair list (cutoff must match
-// poly.r_cut()).  Accelerations are accumulated into arrays.ax/ay/az.
+/// Runs the short-range kernel over the leaf-pair list (cutoff must match
+/// poly.r_cut()).  Accelerations are accumulated into arrays.ax/ay/az.
 xsycl::LaunchStats run_pp_short(xsycl::Queue& q, const GravityArrays& arrays,
                                 const tree::RcbTree& tree,
                                 std::span<const tree::LeafPair> pairs,
                                 const PolyShortForce& poly, const PpOptions& opt,
                                 const std::string& timer_name = "grav_pp");
 
-// Scalar double-precision reference (brute force over all pairs).
+/// Scalar double-precision reference (brute force over all pairs).
 void reference_pp_short(const GravityArrays& arrays, const PolyShortForce& poly,
                         float box, float G, float softening);
 

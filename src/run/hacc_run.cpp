@@ -1,0 +1,138 @@
+// hacc_run: the scenario-driven simulation CLI.
+//
+//   hacc_run [--list] [--config <file>] [--restart <ckpt>] [key=value ...]
+//
+//   hacc_run scenario=paper-benchmark                 # the paper's benchmark
+//   hacc_run scenario=cosmology-box run.log=box.jsonl # adaptive + checkpoints
+//   hacc_run scenario=cosmology-box --restart cosmology-box.ckpt.step8
+//
+// Keys are documented in docs/CONFIG.md; runs stream JSON-lines events to
+// run.log and print a human summary here.
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "run/scenario.hpp"
+#include "util/config.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: hacc_run [--list] [--config <file>] [--restart <ckpt>] "
+      "[key=value ...]\n"
+      "       scenario=<name> selects a preset (see --list); every other\n"
+      "       key=value overrides it.  Keys: docs/CONFIG.md.\n");
+}
+
+void print_scenarios() {
+  std::printf("scenarios:\n");
+  for (const auto& s : hacc::run::scenarios()) {
+    std::printf("  %-16s %s\n", s.name.c_str(), s.summary.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hacc::util::Config cli;
+  std::string restart, config_file;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      print_scenarios();
+      return 0;
+    }
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage();
+      print_scenarios();
+      return 0;
+    }
+    if (std::strcmp(arg, "--restart") == 0 || std::strcmp(arg, "--config") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hacc_run: %s needs a file argument\n", arg);
+        return 1;
+      }
+      (std::strcmp(arg, "--restart") == 0 ? restart : config_file) = argv[++i];
+      continue;
+    }
+    if (std::strchr(arg, '=') == nullptr) {
+      std::fprintf(stderr, "hacc_run: unrecognized argument '%s'\n", arg);
+      print_usage();
+      return 1;
+    }
+    cli.apply_overrides(1, &arg);
+  }
+  // Config file first, CLI key=value pairs overlaid on top: CLI wins.
+  if (!config_file.empty()) {
+    hacc::util::Config file_then_cli;
+    if (!file_then_cli.parse_file(config_file)) {
+      std::fprintf(stderr, "hacc_run: %s\n", file_then_cli.error().c_str());
+      return 1;
+    }
+    for (const auto& [k, v] : cli.values()) file_then_cli.set(k, v);
+    cli = file_then_cli;
+  }
+
+  hacc::run::Scenario scenario;
+  const std::string name = cli.get_string("scenario", "paper-benchmark");
+  if (!hacc::run::find_scenario(name, scenario)) {
+    std::fprintf(stderr, "hacc_run: unknown scenario '%s'\n", name.c_str());
+    print_scenarios();
+    return 1;
+  }
+  std::string error;
+  if (!hacc::run::apply_config(cli, scenario.sim, scenario.run, error)) {
+    std::fprintf(stderr, "hacc_run: %s\n", error.c_str());
+    return 1;
+  }
+  if (!restart.empty()) scenario.run.restart_from = restart;
+  if (scenario.run.log_path.empty()) {
+    scenario.run.log_path = scenario.name + ".jsonl";
+  }
+  scenario.run.echo_steps = true;
+
+  hacc::util::ThreadPool pool(static_cast<unsigned>(cli.get_int("threads", 0)));
+  std::printf("hacc_run: scenario %s (%s)\n", scenario.name.c_str(),
+              scenario.summary.c_str());
+  std::printf(
+      "  2 x %d^3 max particles (hydro %s), box %.1f, z %.0f -> %.0f, "
+      "backend %s, %s stepping\n",
+      scenario.sim.np_side, scenario.sim.hydro ? "on" : "off",
+      scenario.sim.box, scenario.sim.z_init, scenario.sim.z_final,
+      hacc::core::to_string(scenario.sim.gravity_backend),
+      to_string(scenario.run.stepping.mode));
+  if (!scenario.run.restart_from.empty()) {
+    std::printf("  restarting from %s\n", scenario.run.restart_from.c_str());
+  }
+
+  try {
+    hacc::run::ScenarioRunner runner(scenario.sim, scenario.run, pool);
+    const auto result = runner.run();
+    std::printf(
+        "\ndone: %d steps (%d total) to z=%.3f in %.3f s, %d checkpoints, "
+        "%zu diagnostic outputs\n",
+        result.steps, result.total_steps, result.final_z, result.wall_seconds,
+        result.checkpoints_written, result.outputs.size());
+    for (const auto& out : result.outputs) {
+      std::printf(
+          "  output at z=%7.3f: %d halos (largest %d), kernel PP %.3f, "
+          "slowest kernel %s\n",
+          out.z, out.n_halos, out.largest_halo, out.kernel_pp,
+          out.slowest_kernel.c_str());
+    }
+    std::printf("event log: %s\n", scenario.run.log_path.c_str());
+    if (result.hit_max_steps) {
+      std::fprintf(stderr, "hacc_run: stopped at run.max_steps=%d before "
+                   "reaching z_final\n", scenario.run.max_steps);
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hacc_run: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,273 @@
+#include "run/runner.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/cascade.hpp"
+#include "util/timer.hpp"
+
+namespace hacc::run {
+
+namespace {
+
+// Minimal JSON string escape: the only untrusted content we embed is file
+// paths and scenario names.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// The kernel timers the in-run cascade ranks: the paper's SPH set plus the
+// gravity phases, whichever of them have actually run.
+constexpr const char* kCascadeKernels[] = {
+    "upGeo", "upCor",  "upBarEx", "upBarAc", "upBarAcF", "upBarDu",
+    "upBarDuF", "grav_pm", "grav_pp", "grav_fmm", "grav_far"};
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(const core::SimConfig& sim, const RunOptions& opt,
+                               util::ThreadPool& pool)
+    : sim_(sim), opt_(opt), controller_(sim, opt.stepping), solver_(sim, pool) {
+  // Diagnostics schedule as ascending scale factors.
+  for (const double z : opt_.outputs_z) {
+    if (z >= 0.0) outputs_a_.push_back(ic::Cosmology::a_of_z(z));
+  }
+  std::sort(outputs_a_.begin(), outputs_a_.end());
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  if (log_ != nullptr) std::fclose(log_);
+}
+
+void ScenarioRunner::open_log() {
+  if (opt_.log_path.empty()) return;
+  log_ = std::fopen(opt_.log_path.c_str(), "w");
+  if (log_ == nullptr) {
+    throw std::runtime_error("ScenarioRunner: cannot open log file '" +
+                             opt_.log_path + "'");
+  }
+}
+
+void ScenarioRunner::log_line(const std::string& json) {
+  if (log_ == nullptr) return;
+  std::fputs(json.c_str(), log_);
+  std::fputc('\n', log_);
+  std::fflush(log_);
+}
+
+void ScenarioRunner::start_from_checkpoint_or_ics() {
+  if (!opt_.restart_from.empty()) {
+    core::ParticleSet dm, gas;
+    core::RunCheckpointMeta meta;
+    if (!core::read_run_checkpoint(opt_.restart_from, dm, gas, meta)) {
+      throw std::runtime_error("ScenarioRunner: cannot read run checkpoint '" +
+                               opt_.restart_from + "'");
+    }
+    if (meta.config_hash != core::config_signature(sim_)) {
+      throw std::runtime_error(
+          "ScenarioRunner: checkpoint '" + opt_.restart_from +
+          "' was written by a different configuration (config signature "
+          "mismatch); refusing to resume");
+    }
+    solver_.restore(std::move(dm), std::move(gas), meta.scale_factor,
+                    static_cast<int>(meta.step));
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"event\":\"restart\",\"step\":%" PRIu64
+                  ",\"a\":%.17g,\"z\":%.6f,\"file\":\"%s\"}",
+                  meta.step, meta.scale_factor,
+                  ic::Cosmology::z_of_a(meta.scale_factor),
+                  json_escape(opt_.restart_from).c_str());
+    log_line(buf);
+  } else {
+    solver_.initialize();
+    log_line("{\"event\":\"init\",\"a\":" + std::to_string(solver_.scale_factor()) +
+             "}");
+  }
+  // Outputs the run already passed (restart) fire nothing.
+  while (next_output_ < outputs_a_.size() &&
+         outputs_a_[next_output_] <= solver_.scale_factor()) {
+    ++next_output_;
+  }
+}
+
+void ScenarioRunner::write_checkpoint_file(int step) {
+  const std::string path =
+      opt_.checkpoint_path + ".step" + std::to_string(step);
+  core::RunCheckpointMeta meta;
+  meta.box = sim_.box;
+  meta.scale_factor = solver_.scale_factor();
+  meta.step = static_cast<std::uint64_t>(step);
+  meta.config_hash = core::config_signature(sim_);
+  if (!core::write_run_checkpoint(path, solver_.dm(), solver_.gas(), meta)) {
+    throw std::runtime_error("ScenarioRunner: cannot write checkpoint '" +
+                             path + "'");
+  }
+  ++result_.checkpoints_written;
+  result_.checkpoint_files.push_back(path);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"event\":\"checkpoint\",\"step\":%d,\"a\":%.17g,\"file\":\"%s\"}",
+                step, meta.scale_factor, json_escape(path).c_str());
+  log_line(buf);
+}
+
+void ScenarioRunner::run_diagnostics(int step) {
+  OutputRecord rec;
+  rec.step = step;
+  rec.a = solver_.scale_factor();
+  rec.z = solver_.redshift();
+
+  // FoF halos over the dark-matter field, linking length in units of the
+  // mean interparticle separation.
+  const auto pos = solver_.dm().positions();
+  halo::FofOptions fof;
+  fof.linking_length = opt_.fof_b * sim_.box / sim_.np_side;
+  fof.min_members = opt_.fof_min_members;
+  const auto halos = halo::friends_of_friends(pos, sim_.box, fof);
+  rec.n_halos = halos.n_halos();
+  rec.largest_halo = halos.halo_sizes.empty() ? 0 : halos.halo_sizes.front();
+
+  // The metrics cascade over the per-kernel timers: each kernel is a
+  // "platform", its efficiency the best per-call time over its own — the
+  // in-run view of which kernel dominates the step cost.
+  metrics::EfficiencySet eff;
+  eff.application = sim_.scenario;
+  double best = 0.0;
+  for (const char* name : kCascadeKernels) {
+    const auto e = solver_.timers().get(name);
+    if (e.calls == 0) continue;
+    const double per_call = e.seconds / static_cast<double>(e.calls);
+    if (per_call <= 0.0) continue;
+    eff.by_platform[name] = per_call;  // seconds for now; normalized below
+    best = best == 0.0 ? per_call : std::min(best, per_call);
+  }
+  for (auto& [name, seconds] : eff.by_platform) seconds = best / seconds;
+  if (!eff.by_platform.empty()) {
+    const auto cascade = metrics::make_cascade(eff);
+    rec.kernel_pp = cascade.final_pp;
+    rec.slowest_kernel = cascade.ordered.back().first;
+  }
+
+  result_.outputs.push_back(rec);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"event\":\"output\",\"step\":%d,\"a\":%.17g,\"z\":%.6f,"
+                "\"n_halos\":%d,\"largest_halo\":%d,\"kernel_pp\":%.4f,"
+                "\"slowest_kernel\":\"%s\"}",
+                step, rec.a, rec.z, rec.n_halos, rec.largest_halo,
+                rec.kernel_pp, json_escape(rec.slowest_kernel).c_str());
+  log_line(buf);
+}
+
+RunResult ScenarioRunner::run() {
+  if (ran_) throw std::logic_error("ScenarioRunner::run() called twice");
+  ran_ = true;
+  const double t0 = util::wtime();
+
+  open_log();
+  {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"event\":\"begin\",\"scenario\":\"%s\",\"np\":%d,"
+                  "\"backend\":\"%s\",\"mode\":\"%s\",\"hydro\":%s,"
+                  "\"restart\":%s}",
+                  json_escape(sim_.scenario).c_str(), sim_.np_side,
+                  core::to_string(sim_.gravity_backend),
+                  to_string(opt_.stepping.mode), sim_.hydro ? "true" : "false",
+                  opt_.restart_from.empty() ? "false" : "true");
+    log_line(buf);
+  }
+  start_from_checkpoint_or_ics();
+
+  // The adaptive limiter reads max |v| / |dv/dt| from the current force
+  // evaluation.  Each step() already reports them in its stats, so only the
+  // first iteration (fresh ICs or a restart) scans the particles here; the
+  // loop then feeds each step's stats into the next Δa proposal — which is
+  // exactly what the uninterrupted run saw, keeping restarts bit-identical.
+  const bool adaptive = opt_.stepping.mode == StepMode::kAdaptive;
+  double max_velocity = 0.0, max_acceleration = 0.0;
+  if (adaptive) {
+    solver_.prepare_forces();
+    max_velocity = solver_.max_velocity();
+    max_acceleration = solver_.max_acceleration();
+  }
+
+  while (!controller_.done(solver_.scale_factor(), solver_.steps_taken())) {
+    if (result_.steps >= opt_.max_steps) {
+      result_.hit_max_steps = true;
+      log_line("{\"event\":\"max_steps\",\"steps\":" +
+               std::to_string(result_.steps) + "}");
+      break;
+    }
+    if (adaptive) {
+      solver_.set_time_step(controller_.next_da(solver_.scale_factor(),
+                                                solver_.time_step(),
+                                                max_velocity,
+                                                max_acceleration));
+    }
+
+    const core::StepStats stats = solver_.step();
+    max_velocity = stats.max_velocity;
+    max_acceleration = stats.max_acceleration;
+    ++result_.steps;
+    result_.history.push_back(stats);
+    {
+      char buf[400];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"event\":\"step\",\"step\":%d,\"a\":%.17g,\"z\":%.6f,"
+                    "\"da\":%.10g,\"wall_s\":%.6f,\"ke\":%.8e,\"u\":%.8e,"
+                    "\"vmax\":%.6g,\"gmax\":%.6g}",
+                    stats.step, stats.a1, stats.z, stats.da, stats.wall_seconds,
+                    stats.kinetic_energy, stats.thermal_energy,
+                    stats.max_velocity, stats.max_acceleration);
+      log_line(buf);
+    }
+    if (opt_.echo_steps) {
+      std::printf("  step %4d  z=%8.3f  da=%.3e  wall=%6.3fs  KE=%.4e\n",
+                  stats.step, stats.z, stats.da, stats.wall_seconds,
+                  stats.kinetic_energy);
+    }
+
+    while (next_output_ < outputs_a_.size() &&
+           solver_.scale_factor() >= outputs_a_[next_output_]) {
+      run_diagnostics(stats.step);
+      ++next_output_;
+    }
+    if (!opt_.checkpoint_path.empty() && opt_.checkpoint_every > 0 &&
+        solver_.steps_taken() % opt_.checkpoint_every == 0) {
+      write_checkpoint_file(stats.step);
+      last_checkpoint_step_ = stats.step;
+    }
+  }
+
+  if (!opt_.checkpoint_path.empty() && opt_.checkpoint_final &&
+      last_checkpoint_step_ != solver_.steps_taken()) {
+    write_checkpoint_file(solver_.steps_taken());
+  }
+
+  result_.total_steps = solver_.steps_taken();
+  result_.final_a = solver_.scale_factor();
+  result_.final_z = solver_.redshift();
+  result_.wall_seconds = util::wtime() - t0;
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"event\":\"end\",\"steps\":%d,\"total_steps\":%d,"
+                  "\"a\":%.17g,\"z\":%.6f,\"wall_s\":%.3f,\"checkpoints\":%d}",
+                  result_.steps, result_.total_steps, result_.final_a,
+                  result_.final_z, result_.wall_seconds,
+                  result_.checkpoints_written);
+    log_line(buf);
+  }
+  return result_;
+}
+
+}  // namespace hacc::run

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file
+/// The scenario runner: turns a SimConfig plus run options into a complete
+/// end-to-end simulation — IC generation (or checkpoint restart), the
+/// stepping loop under a StepController, periodic restart checkpoints, an
+/// in-run diagnostics schedule (FoF halo finding + the metrics cascade over
+/// the per-kernel timers), and a JSON-lines event log.  This is the layer
+/// behind the `hacc_run` CLI; the paper's five-step benchmark is the
+/// `paper-benchmark` scenario in fixed mode.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/solver.hpp"
+#include "halo/fof.hpp"
+#include "run/step_controller.hpp"
+
+namespace hacc::run {
+
+/// Everything about a run that is not simulation physics: stepping mode,
+/// checkpoint cadence, restart source, diagnostics schedule, logging.
+struct RunOptions {
+  StepControllerOptions stepping;
+
+  /// Safety valve for adaptive runs (fixed mode stops at SimConfig::n_steps).
+  int max_steps = 10000;
+
+  /// Checkpoint base path; empty disables all checkpoint writes.  Each
+  /// write goes to `<checkpoint_path>.step<N>` so a mid-run checkpoint
+  /// survives later ones (the files a restart resumes from).
+  std::string checkpoint_path;
+  int checkpoint_every = 0;       ///< write every k steps (0 disables periodic)
+  bool checkpoint_final = false;  ///< also write after the last step
+  std::string restart_from;     ///< resume from this run checkpoint
+
+  /// Redshifts at which to run the in-run diagnostics (FoF halos + metrics
+  /// cascade); each fires once, when the run first reaches it.
+  std::vector<double> outputs_z;
+  double fof_b = 0.28;        ///< FoF linking length in mean separations
+  int fof_min_members = 8;    ///< smallest reported halo
+
+  std::string log_path;   ///< JSON-lines event stream; empty disables
+  bool echo_steps = false;  ///< print a per-step summary line to stdout
+};
+
+/// One in-run diagnostics output.
+struct OutputRecord {
+  int step = 0;
+  double a = 0.0;
+  double z = 0.0;
+  std::int32_t n_halos = 0;
+  std::int32_t largest_halo = 0;
+  double kernel_pp = 0.0;          ///< PP of the per-kernel efficiency cascade
+  std::string slowest_kernel;      ///< worst per-call kernel at this output
+};
+
+/// What a completed run did.
+struct RunResult {
+  int steps = 0;              ///< steps taken by this process (excl. restart)
+  int total_steps = 0;        ///< solver step counter (incl. restarted steps)
+  double final_a = 0.0;
+  double final_z = 0.0;
+  double wall_seconds = 0.0;
+  int checkpoints_written = 0;
+  std::vector<std::string> checkpoint_files;  ///< paths written, in order
+  bool hit_max_steps = false;  ///< adaptive run stopped by RunOptions::max_steps
+  std::vector<core::StepStats> history;   ///< per-step stats, in order
+  std::vector<OutputRecord> outputs;      ///< diagnostics outputs, in order
+};
+
+/// Owns a Solver and drives one scenario end to end.  Single-shot: run()
+/// may be called once.  Throws std::runtime_error on restart failures
+/// (unreadable checkpoint, configuration mismatch) and propagates solver
+/// errors.
+class ScenarioRunner {
+ public:
+  ScenarioRunner(const core::SimConfig& sim, const RunOptions& opt,
+                 util::ThreadPool& pool = util::ThreadPool::global());
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Executes the scenario: restart or ICs, the stepping loop, checkpoints,
+  /// diagnostics, logging.  Returns the run record.
+  RunResult run();
+
+  core::Solver& solver() { return solver_; }
+  const core::Solver& solver() const { return solver_; }
+  const RunOptions& options() const { return opt_; }
+
+ private:
+  void open_log();
+  void log_line(const std::string& json);
+  void start_from_checkpoint_or_ics();
+  void write_checkpoint_file(int step);
+  void run_diagnostics(int step);
+
+  core::SimConfig sim_;
+  RunOptions opt_;
+  StepController controller_;
+  core::Solver solver_;
+  std::FILE* log_ = nullptr;
+  std::vector<double> outputs_a_;  // ascending scale factors still pending
+  std::size_t next_output_ = 0;
+  int last_checkpoint_step_ = -1;
+  RunResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace hacc::run

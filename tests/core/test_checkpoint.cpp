@@ -142,5 +142,71 @@ TEST_F(CheckpointTest, HeaderOnlyFileRejected) {
   EXPECT_FALSE(read_checkpoint(path_, q, box, a));
 }
 
+TEST_F(CheckpointTest, RunCheckpointRoundTripsBothSpeciesAndMeta) {
+  const auto dm = random_particles(64, 11);
+  const auto gas = random_particles(64, 12);
+  RunCheckpointMeta meta;
+  meta.box = 25.0;
+  meta.scale_factor = 0.0123;
+  meta.step = 17;
+  meta.config_hash = 0xfeedfacecafebeefull;
+  ASSERT_TRUE(write_run_checkpoint(path_, dm, gas, meta));
+
+  ParticleSet dm2, gas2;
+  RunCheckpointMeta got;
+  ASSERT_TRUE(read_run_checkpoint(path_, dm2, gas2, got));
+  EXPECT_DOUBLE_EQ(got.box, meta.box);
+  EXPECT_DOUBLE_EQ(got.scale_factor, meta.scale_factor);
+  EXPECT_EQ(got.step, meta.step);
+  EXPECT_EQ(got.config_hash, meta.config_hash);
+  ASSERT_EQ(dm2.size(), dm.size());
+  ASSERT_EQ(gas2.size(), gas.size());
+  EXPECT_EQ(dm2.x, dm.x);
+  EXPECT_EQ(dm2.vz, dm.vz);
+  EXPECT_EQ(dm2.crk, dm.crk);
+  EXPECT_EQ(gas2.u, gas.u);
+  EXPECT_EQ(gas2.dvel, gas.dvel);
+}
+
+TEST_F(CheckpointTest, RunCheckpointGasFreeRoundTrips) {
+  const auto dm = random_particles(32, 13);
+  ASSERT_TRUE(write_run_checkpoint(path_, dm, ParticleSet{}, {}));
+  ParticleSet dm2, gas2;
+  RunCheckpointMeta got;
+  ASSERT_TRUE(read_run_checkpoint(path_, dm2, gas2, got));
+  EXPECT_EQ(dm2.size(), 32u);
+  EXPECT_EQ(gas2.size(), 0u);
+}
+
+TEST_F(CheckpointTest, RunCheckpointRejectsTruncation) {
+  const auto dm = random_particles(32, 14);
+  const auto gas = random_particles(32, 15);
+  ASSERT_TRUE(write_run_checkpoint(path_, dm, gas, {}));
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)), {});
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() - 16));
+  out.close();
+  ParticleSet dm2, gas2;
+  RunCheckpointMeta got;
+  EXPECT_FALSE(read_run_checkpoint(path_, dm2, gas2, got));
+}
+
+TEST_F(CheckpointTest, VersionsDoNotCrossRead) {
+  // A v1 file is not a run checkpoint, and a run checkpoint is not a v1
+  // file: both readers must reject the other's format cleanly.
+  const auto p = random_particles(16, 16);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  ParticleSet dm2, gas2;
+  RunCheckpointMeta got;
+  EXPECT_FALSE(read_run_checkpoint(path_, dm2, gas2, got));
+
+  ASSERT_TRUE(write_run_checkpoint(path_, p, p, {}));
+  ParticleSet q;
+  double box, a;
+  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+}
+
 }  // namespace
 }  // namespace hacc::core

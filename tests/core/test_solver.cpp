@@ -345,6 +345,124 @@ TEST(Solver, FmmBackendExercisesFarFieldAndStaysFinite) {
   EXPECT_EQ(solver.timers().get("grav_pm").calls, 0u);
 }
 
+TEST(Solver, DoubleInitializeFailsLoudly) {
+  // Regression: initialize() (and therefore run()) used to silently
+  // regenerate ICs over an evolved state.
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  util::ThreadPool pool(2);
+  Solver solver(cfg, pool);
+  EXPECT_FALSE(solver.initialized());
+  solver.initialize();
+  EXPECT_TRUE(solver.initialized());
+  EXPECT_THROW(solver.initialize(), std::logic_error);
+  EXPECT_THROW(solver.run(), std::logic_error);  // run() re-initializes
+}
+
+TEST(Solver, StepBeforeInitializeFailsLoudly) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  util::ThreadPool pool(2);
+  Solver solver(cfg, pool);
+  EXPECT_THROW(solver.step(), std::logic_error);
+  EXPECT_THROW(solver.prepare_forces(), std::logic_error);
+  solver.initialize();
+  EXPECT_NO_THROW(solver.step());
+}
+
+TEST(Solver, StepReportsStats) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  cfg.n_steps = 2;
+  util::ThreadPool pool(2);
+  Solver solver(cfg, pool);
+  solver.initialize();
+  const StepStats s1 = solver.step();
+  const StepStats s2 = solver.step();
+  EXPECT_EQ(s1.step, 1);
+  EXPECT_EQ(s2.step, 2);
+  EXPECT_DOUBLE_EQ(s2.a0, s1.a1);
+  EXPECT_DOUBLE_EQ(s1.da, solver.time_step());
+  EXPECT_DOUBLE_EQ(s2.z, solver.redshift());
+  EXPECT_GT(s1.kinetic_energy, 0.0);
+  EXPECT_GT(s1.thermal_energy, 0.0);
+  EXPECT_GT(s1.max_velocity, 0.0);
+  EXPECT_GT(s1.max_acceleration, 0.0);
+  EXPECT_GE(s1.wall_seconds, 0.0);
+  // The stats energies agree with the independent diagnostics pass.
+  const auto d = solver.diagnostics();
+  EXPECT_NEAR(s2.kinetic_energy, d.kinetic_energy,
+              1e-12 * d.kinetic_energy);
+}
+
+TEST(Solver, RestoreValidatesShapeAndLifecycle) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  util::ThreadPool pool(2);
+
+  Solver donor(cfg, pool);
+  donor.initialize();
+  const StepStats s = donor.step();
+
+  // Shape mismatches and bad scale factors fail loudly.
+  Solver fresh(cfg, pool);
+  EXPECT_THROW(fresh.restore(ParticleSet{}, ParticleSet{}, s.a1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(fresh.restore(donor.dm(), ParticleSet{}, s.a1, 1),
+               std::invalid_argument);  // hydro config expects baryons
+  EXPECT_THROW(fresh.restore(donor.dm(), donor.gas(), -1.0, 1),
+               std::invalid_argument);
+
+  // A valid restore adopts the state and continues.
+  fresh.restore(donor.dm(), donor.gas(), s.a1, donor.steps_taken());
+  EXPECT_TRUE(fresh.initialized());
+  EXPECT_DOUBLE_EQ(fresh.scale_factor(), donor.scale_factor());
+  EXPECT_EQ(fresh.steps_taken(), donor.steps_taken());
+  EXPECT_THROW(fresh.restore(donor.dm(), donor.gas(), s.a1, 1),
+               std::logic_error);  // restore is initialization too
+  EXPECT_NO_THROW(fresh.step());
+}
+
+TEST(Solver, SetTimeStepValidatesAndApplies) {
+  SimConfig cfg = small_config();
+  cfg.np_side = 6;
+  util::ThreadPool pool(2);
+  Solver solver(cfg, pool);
+  EXPECT_THROW(solver.set_time_step(0.0), std::invalid_argument);
+  EXPECT_THROW(solver.set_time_step(-1e-3), std::invalid_argument);
+  solver.set_time_step(1e-3);
+  EXPECT_DOUBLE_EQ(solver.time_step(), 1e-3);
+  solver.initialize();
+  const StepStats s = solver.step();
+  EXPECT_DOUBLE_EQ(s.da, 1e-3);
+}
+
+TEST(ConfigSignature, SensitiveToPhysicsNotTuning) {
+  const SimConfig base;
+  EXPECT_EQ(config_signature(base), config_signature(SimConfig{}));
+
+  SimConfig seed = base;
+  seed.seed += 1;
+  EXPECT_NE(config_signature(seed), config_signature(base));
+  SimConfig np = base;
+  np.np_side += 1;
+  EXPECT_NE(config_signature(np), config_signature(base));
+  SimConfig backend = base;
+  backend.gravity_backend = GravityBackend::kFmm;
+  EXPECT_NE(config_signature(backend), config_signature(base));
+  SimConfig hydro = base;
+  hydro.hydro = false;
+  EXPECT_NE(config_signature(hydro), config_signature(base));
+
+  // Execution-tuning knobs are restartable: they do not change the hash.
+  SimConfig tuning = base;
+  tuning.sub_group_size = 16;
+  tuning.sg_per_wg = 8;
+  tuning.variants = VariantSelection::uniform(xsycl::CommVariant::kBroadcast);
+  tuning.scenario = "renamed";
+  EXPECT_EQ(config_signature(tuning), config_signature(base));
+}
+
 TEST(Solver, SubGroupSizeSixteenRuns) {
   SimConfig cfg = small_config();
   cfg.np_side = 6;

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Link check for the markdown docs.
+
+Verifies that every relative markdown link target in the given files exists
+on disk (anchors are stripped; external http(s)/mailto links are skipped).
+Exits non-zero listing the broken links.
+
+    python3 tools/check_docs_links.py README.md docs/*.md
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — excluding images' srcsets etc.; good enough for our docs.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# ``` fences: links inside code blocks are examples, not navigation.
+FENCE = re.compile(r"^\s*```")
+
+
+def check_file(path: str) -> list[str]:
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if not os.path.exists(os.path.join(base, rel)):
+                    broken.append(f"{path}:{lineno}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    broken = []
+    for path in argv[1:]:
+        broken.extend(check_file(path))
+    for b in broken:
+        print(b, file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv) - 1} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
