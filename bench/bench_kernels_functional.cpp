@@ -75,7 +75,7 @@ void BM_Kernel(benchmark::State& state) {
   std::uint64_t interactions = 0;
   for (auto _ : state) {
     const auto stats = core::KernelRegistry::instance().run(
-        kernel, q, f.gas, *f.pipe.tree, f.pipe.pairs, opt);
+        kernel, q, f.gas, f.pipe.domain->all(), f.pipe.pairs, opt);
     interactions += stats.ops.interactions;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(interactions));

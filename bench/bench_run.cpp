@@ -77,6 +77,9 @@ struct ScenarioRecord {
   double wall_seconds = 0.0;
   double step_ms = 0.0;      // mean per-step wall
   int n_outputs = 0;
+  double tree_seconds = 0.0; // shared-domain tree build/refresh time
+  int tree_builds = 0;
+  int tree_reuses = 0;
 };
 
 ScenarioRecord time_scenario(const std::string& name) {
@@ -92,6 +95,11 @@ ScenarioRecord time_scenario(const std::string& name) {
                     ? 1e3 * result.wall_seconds / result.steps
                     : 0.0;
   rec.n_outputs = static_cast<int>(result.outputs.size());
+  for (const auto& stats : result.history) {
+    rec.tree_seconds += stats.tree_seconds;
+    rec.tree_builds += stats.tree_builds;
+    rec.tree_reuses += stats.tree_reuses;
+  }
   return rec;
 }
 
@@ -108,9 +116,11 @@ void write_bench_json(const ScenarioRecord recs[3]) {
   for (int i = 0; i < 3; ++i) {
     std::fprintf(f,
                  "    \"%s\": {\"steps\": %d, \"wall_s\": %.4f, "
-                 "\"step_ms\": %.3f, \"outputs\": %d}%s\n",
+                 "\"step_ms\": %.3f, \"outputs\": %d, \"tree_s\": %.4f, "
+                 "\"tree_builds\": %d, \"tree_reuses\": %d}%s\n",
                  recs[i].name.c_str(), recs[i].steps, recs[i].wall_seconds,
-                 recs[i].step_ms, recs[i].n_outputs, i < 2 ? "," : "");
+                 recs[i].step_ms, recs[i].n_outputs, recs[i].tree_seconds,
+                 recs[i].tree_builds, recs[i].tree_reuses, i < 2 ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -122,13 +132,14 @@ void print_summary() {
       "Scenario runs end to end (np=8, default thread pool)");
   ScenarioRecord recs[3];
   const char* names[3] = {"paper-benchmark", "cosmology-box", "sph-adiabatic"};
-  std::printf("%-17s %7s %10s %10s %9s\n", "scenario", "steps", "wall s",
-              "step ms", "outputs");
+  std::printf("%-17s %7s %10s %10s %9s %9s %7s %7s\n", "scenario", "steps",
+              "wall s", "step ms", "outputs", "tree ms", "builds", "reuses");
   for (int i = 0; i < 3; ++i) {
     recs[i] = time_scenario(names[i]);
-    std::printf("%-17s %7d %10.3f %10.2f %9d\n", recs[i].name.c_str(),
-                recs[i].steps, recs[i].wall_seconds, recs[i].step_ms,
-                recs[i].n_outputs);
+    std::printf("%-17s %7d %10.3f %10.2f %9d %9.2f %7d %7d\n",
+                recs[i].name.c_str(), recs[i].steps, recs[i].wall_seconds,
+                recs[i].step_ms, recs[i].n_outputs, 1e3 * recs[i].tree_seconds,
+                recs[i].tree_builds, recs[i].tree_reuses);
   }
   write_bench_json(recs);
 }

@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
               popt.hydro.launch.sub_group_size, repeats);
   for (int r = 0; r < repeats; ++r) {
     const auto stats =
-        registry.run(kernel, q, gas, *pipe.tree, pipe.pairs, popt.hydro);
+        registry.run(kernel, q, gas, pipe.domain->all(), pipe.pairs, popt.hydro);
     std::printf("  run %d: %.4f s, %llu interactions\n", r + 1, stats.seconds,
                 static_cast<unsigned long long>(stats.ops.interactions));
   }

@@ -13,10 +13,10 @@ namespace hacc::core {
 KernelRegistry::KernelRegistry() {
   const auto bind = [this](const std::string& name, auto fn) {
     register_kernel(name, [name, fn](xsycl::Queue& q, ParticleSet& p,
-                                     const tree::RcbTree& tree,
-                                     std::span<const tree::LeafPair> pairs,
+                                     const domain::SpeciesView& view,
+                                     const domain::PairSource& pairs,
                                      const sph::HydroOptions& opt) {
-      return fn(q, p, tree, pairs, opt, name);
+      return fn(q, p, view, pairs, opt, name);
     });
   };
   bind("upGeo", sph::run_geometry);
@@ -45,14 +45,15 @@ std::vector<std::string> KernelRegistry::names() const {
 }
 
 xsycl::LaunchStats KernelRegistry::run(const std::string& name, xsycl::Queue& q,
-                                       ParticleSet& p, const tree::RcbTree& tree,
-                                       std::span<const tree::LeafPair> pairs,
+                                       ParticleSet& p,
+                                       const domain::SpeciesView& view,
+                                       const domain::PairSource& pairs,
                                        const sph::HydroOptions& opt) const {
   const auto it = runners_.find(name);
   if (it == runners_.end()) {
     throw std::out_of_range("KernelRegistry: unknown kernel '" + name + "'");
   }
-  return it->second(q, p, tree, pairs, opt);
+  return it->second(q, p, view, pairs, opt);
 }
 
 }  // namespace hacc::core

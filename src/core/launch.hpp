@@ -15,18 +15,21 @@
 #include <vector>
 
 #include "core/particles.hpp"
+#include "domain/domain.hpp"
 #include "sph/context.hpp"
 #include "tree/rcb.hpp"
 #include "xsycl/queue.hpp"
 
 namespace hacc::core {
 
-/// Name -> runnable-kernel map.
+/// Name -> runnable-kernel map.  Runners consume the interaction-domain
+/// types (a species view of the shared tree plus a pair source); a bare
+/// RcbTree and a materialized pair list convert implicitly.
 class KernelRegistry {
  public:
   using Runner = std::function<xsycl::LaunchStats(
-      xsycl::Queue&, ParticleSet&, const tree::RcbTree&,
-      std::span<const tree::LeafPair>, const sph::HydroOptions&)>;
+      xsycl::Queue&, ParticleSet&, const domain::SpeciesView&,
+      const domain::PairSource&, const sph::HydroOptions&)>;
 
   /// Registry pre-populated with the five hot-spot kernels under the
   /// paper's timer names: upGeo, upCor, upBarEx, upBarAc, upBarAcF,
@@ -40,8 +43,8 @@ class KernelRegistry {
 
   /// Launches the named kernel; throws std::out_of_range for unknown names.
   xsycl::LaunchStats run(const std::string& name, xsycl::Queue& q, ParticleSet& p,
-                         const tree::RcbTree& tree,
-                         std::span<const tree::LeafPair> pairs,
+                         const domain::SpeciesView& view,
+                         const domain::PairSource& pairs,
                          const sph::HydroOptions& opt) const;
 
  private:

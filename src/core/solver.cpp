@@ -108,6 +108,13 @@ Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
     poly_ = std::make_unique<gravity::PolyShortForce>(
         pm_opt.r_split, cfg_.pp_cut_factor * pm_opt.r_split, cfg_.poly_order);
   }
+
+  domain::DomainOptions dopt;
+  dopt.box = cfg_.box;
+  dopt.leaf_size = cfg_.leaf_size;
+  dopt.skin = cfg_.domain_skin;
+  dopt.rebuild = cfg_.domain_rebuild;
+  domain_ = std::make_unique<domain::InteractionDomain>(dopt);
 }
 
 void Solver::require_initialized(const char* what) const {
@@ -252,34 +259,56 @@ void Solver::assemble_gravity_inputs() {
 }
 
 void Solver::compute_forces(bool corrector) {
+  // One combined-species gather (dm then gas) feeds the WHOLE evaluation:
+  // the shared interaction domain builds — or Verlet-skin-reuses — exactly
+  // one tree over it, and both the SPH kernels and the short-range gravity
+  // kernels consume species-filtered views of that tree.
+  assemble_gravity_inputs();
+  {
+    util::ScopedTimer t(timers_, "tree_build");
+    domain_->update(grav_pos_, dm_.size());
+  }
+
   // ---- Hydro (baryons) ----
   if (use_restored_hydro_forces_) {
     // Restart: the checkpointed kernel outputs stand in for this evaluation.
     use_restored_hydro_forces_ = false;
   } else if (cfg_.hydro && gas_.size() > 0) {
     update_smoothing_lengths();
-    sph::PipelineOptions popt;
-    popt.leaf_size = cfg_.leaf_size;
-    popt.hydro = hydro_options(cfg_, cfg_.variants.geometry);
-    const sph::Pipeline pipe = sph::build_pipeline(gas_, popt);
+    const domain::SpeciesView gas_view = domain_->second();
+    // Five kernels consume the same pair set, so walk the tree ONCE into a
+    // scratch whose capacity persists across evaluations (a streamed source
+    // would re-traverse per kernel).  Leaf pairs of the combined tree with
+    // no gas on either side do zero SPH work — drop them here.  Gravity
+    // below has a single consumer and streams its pairs without
+    // materializing.
+    sph_pairs_scratch_.clear();
+    domain_->for_each_pair(
+        sph::support_cutoff(gas_), [this, &gas_view](const tree::LeafPair& lp) {
+          if (gas_view.leaves[lp.a].count() == 0 ||
+              gas_view.leaves[lp.b].count() == 0) {
+            return;
+          }
+          sph_pairs_scratch_.push_back(lp);
+        });
+    const domain::PairSource sph_pairs(sph_pairs_scratch_);
     const auto& v = cfg_.variants;
-    sph::run_geometry(queue_, gas_, *pipe.tree, pipe.pairs,
+    sph::run_geometry(queue_, gas_, gas_view, sph_pairs,
                       hydro_options(cfg_, v.geometry));
-    sph::run_corrections(queue_, gas_, *pipe.tree, pipe.pairs,
+    sph::run_corrections(queue_, gas_, gas_view, sph_pairs,
                          hydro_options(cfg_, v.corrections));
-    sph::run_extras(queue_, gas_, *pipe.tree, pipe.pairs,
+    sph::run_extras(queue_, gas_, gas_view, sph_pairs,
                     hydro_options(cfg_, v.extras));
-    sph::run_acceleration(queue_, gas_, *pipe.tree, pipe.pairs,
+    sph::run_acceleration(queue_, gas_, gas_view, sph_pairs,
                           hydro_options(cfg_, v.acceleration),
                           corrector ? "upBarAcF" : "upBarAc");
-    sph::run_energy(queue_, gas_, *pipe.tree, pipe.pairs,
+    sph::run_energy(queue_, gas_, gas_view, sph_pairs,
                     hydro_options(cfg_, v.energy),
                     corrector ? "upBarDuF" : "upBarDu");
   }
 
   // ---- Gravity (both species): Poisson constant 4 pi G = 3/2 Omega_m / (a rhobar),
   // with rhobar = 1 by the mass normalization. ----
-  assemble_gravity_inputs();
   const double g_code = 3.0 * cfg_.cosmo.omega_m / (8.0 * M_PI * a_);
   if (pm_) {
     util::ScopedTimer t(timers_, "grav_pm");
@@ -302,25 +331,22 @@ void Solver::compute_forces(bool corrector) {
 
   if (cfg_.gravity_backend == GravityBackend::kPmPp) {
     util::ScopedTimer t(timers_, "grav_pp");
-    const tree::RcbTree gtree(grav_pos_, cfg_.box, cfg_.leaf_size);
-    const auto gpairs = gtree.interacting_pairs(poly_->r_cut());
-    run_pp_short(queue_, arrays, gtree, gpairs, *poly_, ppopt);
+    run_pp_short(queue_, arrays, domain_->all(),
+                 domain_->pairs(poly_->r_cut()), *poly_, ppopt);
   } else {
     const bool treepm = cfg_.gravity_backend == GravityBackend::kTreePm;
     const double r_cut =
         treepm ? poly_->r_cut() : std::numeric_limits<double>::infinity();
-    std::optional<tree::RcbTree> gtree;
     std::optional<fmm::FmmEvaluator> evaluator;
     fmm::InteractionLists lists;
     {
       util::ScopedTimer t(timers_, "grav_fmm");
-      gtree.emplace(grav_pos_, cfg_.box, cfg_.leaf_size);
-      evaluator.emplace(*gtree, grav_pos_, grav_mass_d_, *pool_);
+      evaluator.emplace(domain_->tree(), grav_pos_, grav_mass_d_, *pool_);
       lists = evaluator->build_interactions(cfg_.fmm_theta, r_cut);
     }
     {
       util::ScopedTimer t(timers_, "grav_pp");
-      run_pp_short(queue_, arrays, *gtree, lists.near, *poly_, ppopt);
+      run_pp_short(queue_, arrays, domain_->all(), lists.near, *poly_, ppopt);
     }
     {
       util::ScopedTimer t(timers_, "grav_far");
@@ -395,6 +421,8 @@ void Solver::drift(double a0, double a1) {
 StepStats Solver::step() {
   require_initialized("step()");
   const double t0 = util::wtime();
+  const domain::DomainStats dom0 = domain_->stats();
+  const double tree_t0 = timers_.seconds("tree_build");
   if (!forces_ready_) compute_forces(false);
   const double a0 = a_;
   const double a1 = a_ + da_;
@@ -416,6 +444,9 @@ StepStats Solver::step() {
   stats.wall_seconds = util::wtime() - t0;
   stats.max_velocity = max_velocity();
   stats.max_acceleration = max_acceleration();
+  stats.tree_builds = static_cast<int>(domain_->stats().builds - dom0.builds);
+  stats.tree_reuses = static_cast<int>(domain_->stats().reuses - dom0.reuses);
+  stats.tree_seconds = timers_.seconds("tree_build") - tree_t0;
   const auto tally = [&stats](const ParticleSet& p, bool hydro) {
     for (std::size_t i = 0; i < p.size(); ++i) {
       const double m = p.mass[i];

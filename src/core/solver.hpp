@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/particles.hpp"
+#include "domain/domain.hpp"
 #include "fmm/fmm.hpp"
 #include "gravity/pm.hpp"
 #include "gravity/pp_short.hpp"
@@ -107,6 +108,13 @@ struct SimConfig {
   int sub_group_size = 32;    ///< HACC_SYCL_SG_SIZE
   int sg_per_wg = 4;          ///< block size 128 / warp 32 (HACC_CUDA_BLOCK_SIZE)
   int leaf_size = 32;         ///< RCB tree leaf capacity
+
+  /// Interaction-domain reuse knobs (config keys domain.skin /
+  /// domain.rebuild).  Execution tuning, not physics: pair enumeration stays
+  /// exact under reuse, so — like `variants` — they are excluded from
+  /// config_signature() and may change across a restart.
+  double domain_skin = 0.0;  ///< Verlet skin; reuse while drift <= skin / 2
+  domain::RebuildPolicy domain_rebuild = domain::RebuildPolicy::kAlways;
 };
 
 /// Hash of every physics-affecting SimConfig field (particle counts, box,
@@ -131,6 +139,9 @@ struct StepStats {
   double max_acceleration = 0.0; ///< max total kick acceleration |dv/dt|
   double kinetic_energy = 0.0;   ///< Σ m v²/2 (peculiar)
   double thermal_energy = 0.0;   ///< Σ m u (baryons)
+  int tree_builds = 0;           ///< shared-domain tree rebuilds this step
+  int tree_reuses = 0;           ///< Verlet-skin reuses this step
+  double tree_seconds = 0.0;     ///< wall seconds in tree build/refresh
 };
 
 /// The time integrator.  Lifecycle: construct, then exactly one of
@@ -207,6 +218,12 @@ class Solver {
   /// Far-field M2P work performed by the fmm/treepm backends so far.
   const xsycl::OpCounters& fmm_ops() const { return fmm_ops_; }
 
+  /// The shared interaction domain: one tree build (or Verlet-skin reuse)
+  /// per force evaluation, consumed by SPH and gravity alike.
+  const domain::InteractionDomain& interaction_domain() const {
+    return *domain_;
+  }
+
   /// Conserved-quantity summary of the current particle state.
   struct Diagnostics {
     double total_mass = 0.0;
@@ -243,6 +260,10 @@ class Solver {
   bool use_restored_hydro_forces_ = false;
   double h0_ = 0.0;  // fiducial smoothing length
 
+  // Hydro leaf-pair scratch: filled by one tree walk per force evaluation
+  // and fed to all five SPH kernels; capacity persists across evaluations.
+  std::vector<tree::LeafPair> sph_pairs_scratch_;
+
   // Combined-species gravity scratch.
   std::vector<util::Vec3d> grav_pos_;
   std::vector<double> grav_mass_d_;
@@ -251,6 +272,7 @@ class Solver {
   std::vector<float> grav_ax_, grav_ay_, grav_az_;
   std::unique_ptr<gravity::PmSolver> pm_;
   std::unique_ptr<gravity::PolyShortForce> poly_;
+  std::unique_ptr<domain::InteractionDomain> domain_;
   xsycl::OpCounters fmm_ops_;
 };
 

@@ -65,8 +65,8 @@ struct GravityTraits {
 }  // namespace
 
 xsycl::LaunchStats run_pp_short(xsycl::Queue& q, const GravityArrays& arrays,
-                                const tree::RcbTree& tree,
-                                std::span<const tree::LeafPair> pairs,
+                                const domain::SpeciesView& view,
+                                const domain::PairSource& pairs,
                                 const PolyShortForce& poly, const PpOptions& opt,
                                 const std::string& timer_name) {
   GravityTraits traits;
@@ -76,10 +76,8 @@ xsycl::LaunchStats run_pp_short(xsycl::Queue& q, const GravityArrays& arrays,
   traits.G = opt.G;
   traits.eps2 = opt.softening * opt.softening;
   traits.rcut2 = static_cast<float>(poly.r_cut() * poly.r_cut());
-  sph::PairInteractionKernel<GravityTraits> kernel(timer_name, traits, tree,
-                                                   pairs.data(), pairs.size(),
-                                                   opt.variant);
-  return q.submit(kernel, pairs.size(), opt.launch);
+  return sph::launch_pair_batches(q, timer_name, traits, view, pairs,
+                                  opt.variant, opt.launch);
 }
 
 void reference_pp_short(const GravityArrays& arrays, const PolyShortForce& poly,

@@ -8,6 +8,7 @@
 
 #include <span>
 
+#include "domain/domain.hpp"
 #include "gravity/poisson.hpp"
 #include "tree/rcb.hpp"
 #include "xsycl/comm_variant.hpp"
@@ -40,11 +41,14 @@ struct PpOptions {
 /// Flops per particle-pair interaction (cost model / op counting).
 inline constexpr double kGravityPpFlops = 40.0;
 
-/// Runs the short-range kernel over the leaf-pair list (cutoff must match
-/// poly.r_cut()).  Accelerations are accumulated into arrays.ax/ay/az.
+/// Runs the short-range kernel over the leaf pairs of `pairs` (cutoff must
+/// match poly.r_cut()).  The view is a whole tree (implicit conversion) or a
+/// species-filtered window of the shared interaction domain; a streamed
+/// PairSource feeds the launch machinery in leaf-pair batches.
+/// Accelerations are accumulated into arrays.ax/ay/az.
 xsycl::LaunchStats run_pp_short(xsycl::Queue& q, const GravityArrays& arrays,
-                                const tree::RcbTree& tree,
-                                std::span<const tree::LeafPair> pairs,
+                                const domain::SpeciesView& view,
+                                const domain::PairSource& pairs,
                                 const PolyShortForce& poly, const PpOptions& opt,
                                 const std::string& timer_name = "grav_pp");
 

@@ -28,7 +28,7 @@ std::string json_escape(const std::string& s) {
 // gravity phases, whichever of them have actually run.
 constexpr const char* kCascadeKernels[] = {
     "upGeo", "upCor",  "upBarEx", "upBarAc", "upBarAcF", "upBarDu",
-    "upBarDuF", "grav_pm", "grav_pp", "grav_fmm", "grav_far"};
+    "upBarDuF", "grav_pm", "grav_pp", "grav_fmm", "grav_far", "tree_build"};
 
 }  // namespace
 
@@ -220,14 +220,16 @@ RunResult ScenarioRunner::run() {
     ++result_.steps;
     result_.history.push_back(stats);
     {
-      char buf[400];
+      char buf[512];
       std::snprintf(buf, sizeof(buf),
                     "{\"event\":\"step\",\"step\":%d,\"a\":%.17g,\"z\":%.6f,"
                     "\"da\":%.10g,\"wall_s\":%.6f,\"ke\":%.8e,\"u\":%.8e,"
-                    "\"vmax\":%.6g,\"gmax\":%.6g}",
+                    "\"vmax\":%.6g,\"gmax\":%.6g,\"tree_builds\":%d,"
+                    "\"tree_reuses\":%d,\"tree_s\":%.6f}",
                     stats.step, stats.a1, stats.z, stats.da, stats.wall_seconds,
                     stats.kinetic_energy, stats.thermal_energy,
-                    stats.max_velocity, stats.max_acceleration);
+                    stats.max_velocity, stats.max_acceleration,
+                    stats.tree_builds, stats.tree_reuses, stats.tree_seconds);
       log_line(buf);
     }
     if (opt_.echo_steps) {

@@ -50,8 +50,8 @@ struct AccelerationTraits {
 }  // namespace
 
 xsycl::LaunchStats run_acceleration(xsycl::Queue& q, core::ParticleSet& p,
-                                    const tree::RcbTree& tree,
-                                    std::span<const tree::LeafPair> pairs,
+                                    const domain::SpeciesView& view,
+                                    const domain::PairSource& pairs,
                                     const HydroOptions& opt,
                                     const std::string& timer_name) {
   std::fill(p.ax.begin(), p.ax.end(), 0.f);
@@ -61,7 +61,7 @@ xsycl::LaunchStats run_acceleration(xsycl::Queue& q, core::ParticleSet& p,
 
   AccelerationTraits traits{&p,       p.ax.data(), p.ay.data(), p.az.data(),
                             p.vsig.data(), opt.box,     opt.visc};
-  return launch_pairs(q, timer_name, traits, tree, pairs, opt);
+  return launch_pairs(q, timer_name, traits, view, pairs, opt);
 }
 
 }  // namespace hacc::sph

@@ -3,11 +3,18 @@
 // Shared launch context for the five hot-spot kernels.  Mirrors CRK-HACC's
 // kernel launch abstraction (§4.2): kernels are function objects submitted
 // through a queue, with per-launch sub-group size and variant selection.
+//
+// Pair kernels consume a domain::SpeciesView (leaf slot ranges + slot ->
+// particle permutation) and a domain::PairSource.  A materialized source
+// submits one launch; a streamed source feeds the launch machinery in
+// leaf-pair batches straight out of the dual-tree walk, so the hot path
+// never holds the full interaction list.
 
 #include <span>
 #include <string>
 
 #include "core/particles.hpp"
+#include "domain/domain.hpp"
 #include "sph/half_warp.hpp"
 #include "sph/physics.hpp"
 #include "tree/rcb.hpp"
@@ -24,12 +31,11 @@ struct HydroOptions {
 
 template <typename Traits>
 xsycl::LaunchStats launch_pairs(xsycl::Queue& q, const std::string& name, Traits traits,
-                                const tree::RcbTree& tree,
-                                std::span<const tree::LeafPair> pairs,
+                                const domain::SpeciesView& view,
+                                const domain::PairSource& pairs,
                                 const HydroOptions& opt) {
-  PairInteractionKernel<Traits> kernel(name, std::move(traits), tree, pairs.data(),
-                                       pairs.size(), opt.variant);
-  return q.submit(kernel, pairs.size(), opt.launch);
+  return launch_pair_batches(q, name, traits, view, pairs, opt.variant,
+                             opt.launch);
 }
 
 template <typename Body>

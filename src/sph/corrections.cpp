@@ -93,14 +93,14 @@ struct CorrectionsTraits {
 }  // namespace
 
 xsycl::LaunchStats run_corrections(xsycl::Queue& q, core::ParticleSet& p,
-                                   const tree::RcbTree& tree,
-                                   std::span<const tree::LeafPair> pairs,
+                                   const domain::SpeciesView& view,
+                                   const domain::PairSource& pairs,
                                    const HydroOptions& opt,
                                    const std::string& timer_name) {
   std::fill(p.moments.begin(), p.moments.end(), 0.f);
 
   CorrectionsTraits traits{&p, p.moments.data(), opt.box};
-  const auto stats = launch_pairs(q, timer_name, traits, tree, pairs, opt);
+  const auto stats = launch_pairs(q, timer_name, traits, view, pairs, opt);
 
   // Finalize: self contribution + double-precision moment solve per particle.
   auto* moments = p.moments.data();

@@ -12,8 +12,8 @@ namespace hacc::sph {
 inline constexpr double kCorrectionsFlops = 220.0;
 
 xsycl::LaunchStats run_corrections(xsycl::Queue& q, core::ParticleSet& p,
-                                   const tree::RcbTree& tree,
-                                   std::span<const tree::LeafPair> pairs,
+                                   const domain::SpeciesView& view,
+                                   const domain::PairSource& pairs,
                                    const HydroOptions& opt,
                                    const std::string& timer_name = "upCor");
 

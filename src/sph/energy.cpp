@@ -39,12 +39,12 @@ struct EnergyTraits {
 }  // namespace
 
 xsycl::LaunchStats run_energy(xsycl::Queue& q, core::ParticleSet& p,
-                              const tree::RcbTree& tree,
-                              std::span<const tree::LeafPair> pairs,
+                              const domain::SpeciesView& view,
+                              const domain::PairSource& pairs,
                               const HydroOptions& opt, const std::string& timer_name) {
   std::fill(p.du.begin(), p.du.end(), 0.f);
   EnergyTraits traits{&p, p.du.data(), opt.box, opt.visc};
-  return launch_pairs(q, timer_name, traits, tree, pairs, opt);
+  return launch_pairs(q, timer_name, traits, view, pairs, opt);
 }
 
 }  // namespace hacc::sph

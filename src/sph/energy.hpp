@@ -11,8 +11,8 @@ namespace hacc::sph {
 inline constexpr double kEnergyFlops = 240.0;
 
 xsycl::LaunchStats run_energy(xsycl::Queue& q, core::ParticleSet& p,
-                              const tree::RcbTree& tree,
-                              std::span<const tree::LeafPair> pairs,
+                              const domain::SpeciesView& view,
+                              const domain::PairSource& pairs,
                               const HydroOptions& opt,
                               const std::string& timer_name = "upBarDu");
 

@@ -53,14 +53,14 @@ struct ExtrasTraits {
 }  // namespace
 
 xsycl::LaunchStats run_extras(xsycl::Queue& q, core::ParticleSet& p,
-                              const tree::RcbTree& tree,
-                              std::span<const tree::LeafPair> pairs,
+                              const domain::SpeciesView& view,
+                              const domain::PairSource& pairs,
                               const HydroOptions& opt, const std::string& timer_name) {
   std::fill(p.rho.begin(), p.rho.end(), 0.f);
   std::fill(p.dvel.begin(), p.dvel.end(), 0.f);
 
   ExtrasTraits traits{&p, p.rho.data(), p.dvel.data(), opt.box};
-  const auto stats = launch_pairs(q, timer_name, traits, tree, pairs, opt);
+  const auto stats = launch_pairs(q, timer_name, traits, view, pairs, opt);
 
   // Finalize: self density term + equation of state.
   auto* rho = p.rho.data();

@@ -39,13 +39,13 @@ struct GeometryTraits {
 }  // namespace
 
 xsycl::LaunchStats run_geometry(xsycl::Queue& q, core::ParticleSet& p,
-                                const tree::RcbTree& tree,
-                                std::span<const tree::LeafPair> pairs,
+                                const domain::SpeciesView& view,
+                                const domain::PairSource& pairs,
                                 const HydroOptions& opt, const std::string& timer_name) {
   std::fill(p.m0.begin(), p.m0.end(), 0.f);
 
   GeometryTraits traits{&p, p.m0.data(), opt.box};
-  const auto stats = launch_pairs(q, timer_name, traits, tree, pairs, opt);
+  const auto stats = launch_pairs(q, timer_name, traits, view, pairs, opt);
 
   // Finalize: add the self contribution and invert to a volume.
   auto* m0 = p.m0.data();

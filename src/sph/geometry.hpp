@@ -14,8 +14,8 @@ inline constexpr double kGeometryFlops = 24.0;
 // Runs the pair accumulation and the per-particle finalize; returns the
 // stats of the pair launch (the dominant one).
 xsycl::LaunchStats run_geometry(xsycl::Queue& q, core::ParticleSet& p,
-                                const tree::RcbTree& tree,
-                                std::span<const tree::LeafPair> pairs,
+                                const domain::SpeciesView& view,
+                                const domain::PairSource& pairs,
                                 const HydroOptions& opt,
                                 const std::string& timer_name = "upGeo");
 

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "domain/domain.hpp"
 #include "tree/rcb.hpp"
 #include "xsycl/atomic.hpp"
 #include "xsycl/comm_variant.hpp"
@@ -35,13 +36,17 @@ class PairInteractionKernel {
   using State = typename Traits::State;
   using Accum = typename Traits::Accum;
 
-  PairInteractionKernel(std::string name, Traits traits, const tree::RcbTree& tr,
+  // The view supplies the per-leaf slot ranges and the slot -> particle
+  // permutation — either a whole tree (implicit conversion) or a
+  // species-filtered window from domain::InteractionDomain.
+  PairInteractionKernel(std::string name, Traits traits,
+                        const domain::SpeciesView& view,
                         const tree::LeafPair* pairs, std::size_t n_pairs,
                         xsycl::CommVariant variant)
       : name_(std::move(name)),
         traits_(std::move(traits)),
-        leaves_(tr.leaves().data()),
-        order_(tr.order().data()),
+        leaves_(view.leaves),
+        order_(view.order),
         pairs_(pairs),
         n_pairs_(n_pairs),
         variant_(variant) {}
@@ -224,6 +229,30 @@ class ForEachParticleKernel {
 // Sub-groups needed to cover n particles one lane each.
 inline std::uint64_t subgroups_for(std::size_t n, int sg_size) {
   return (n + sg_size - 1) / static_cast<std::size_t>(sg_size);
+}
+
+// Submits one PairInteractionKernel launch per batch of the pair source and
+// accumulates the per-launch stats into a single record — the one batching
+// loop shared by the SPH kernel runners and gravity's run_pp_short.
+template <typename Traits>
+xsycl::LaunchStats launch_pair_batches(xsycl::Queue& q, const std::string& name,
+                                       const Traits& traits,
+                                       const domain::SpeciesView& view,
+                                       const domain::PairSource& pairs,
+                                       xsycl::CommVariant variant,
+                                       const xsycl::LaunchConfig& launch) {
+  xsycl::LaunchStats total;
+  total.kernel = name;
+  total.sub_group_size = launch.sub_group_size;
+  pairs.for_each_batch([&](std::span<const tree::LeafPair> batch) {
+    PairInteractionKernel<Traits> kernel(name, traits, view, batch.data(),
+                                         batch.size(), variant);
+    const xsycl::LaunchStats stats = q.submit(kernel, batch.size(), launch);
+    total.n_sub_groups += stats.n_sub_groups;
+    total.seconds += stats.seconds;
+    total.ops.merge(stats.ops);
+  });
+  return total;
 }
 
 }  // namespace hacc::sph

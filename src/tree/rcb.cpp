@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace hacc::tree {
 
@@ -69,6 +70,39 @@ std::int32_t RcbTree::build(std::int32_t begin, std::int32_t end,
   return self;
 }
 
+void RcbTree::refresh(std::span<const Vec3d> pos) {
+  if (pos.size() != order_.size()) {
+    throw std::invalid_argument(
+        "RcbTree::refresh(): position count does not match the particle "
+        "count the tree was built from");
+  }
+  // Children carry larger indices than their parents, so a reverse-index
+  // sweep sees both children before every internal node.
+  for (std::int32_t i = static_cast<std::int32_t>(nodes_.size()) - 1; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (n.is_leaf()) {
+      n.lo = Vec3d(std::numeric_limits<double>::max());
+      n.hi = Vec3d(std::numeric_limits<double>::lowest());
+      for (std::int32_t k = n.begin; k < n.end; ++k) {
+        const Vec3d& p = pos[order_[k]];
+        for (int a = 0; a < 3; ++a) {
+          n.lo[a] = std::min(n.lo[a], p[a]);
+          n.hi[a] = std::max(n.hi[a], p[a]);
+        }
+      }
+      leaves_[n.leaf].lo = n.lo;
+      leaves_[n.leaf].hi = n.hi;
+    } else {
+      const Node& l = nodes_[n.left];
+      const Node& r = nodes_[n.right];
+      for (int a = 0; a < 3; ++a) {
+        n.lo[a] = std::min(l.lo[a], r.lo[a]);
+        n.hi[a] = std::max(l.hi[a], r.hi[a]);
+      }
+    }
+  }
+}
+
 double RcbTree::node_distance(const Node& a, const Node& b) const {
   double d2 = 0.0;
   for (int axis = 0; axis < 3; ++axis) {
@@ -99,43 +133,12 @@ double RcbTree::leaf_distance(std::int32_t a, std::int32_t b) const {
   return node_distance(na, nb);
 }
 
-void RcbTree::dual_walk(std::int32_t ia, std::int32_t ib, double cutoff,
-                        std::vector<LeafPair>& out) const {
-  const Node& a = nodes_[ia];
-  const Node& b = nodes_[ib];
-  if (node_distance(a, b) > cutoff) return;
-  const bool a_is_leaf = a.leaf >= 0;
-  const bool b_is_leaf = b.leaf >= 0;
-  if (a_is_leaf && b_is_leaf) {
-    // Leaves are numbered in slot order and the walk only ever pairs an
-    // earlier subtree's node on the left, so the pair is already canonical.
-    assert(a.leaf <= b.leaf);
-    out.push_back({a.leaf, b.leaf});
-    return;
-  }
-  // Descend the larger (non-leaf) node; for self pairs descend both sides.
-  if (ia == ib) {
-    dual_walk(a.left, a.left, cutoff, out);
-    dual_walk(a.right, a.right, cutoff, out);
-    dual_walk(a.left, a.right, cutoff, out);
-    return;
-  }
-  const auto span_of = [&](const Node& n) {
-    return (n.hi.x - n.lo.x) + (n.hi.y - n.lo.y) + (n.hi.z - n.lo.z);
-  };
-  if (b_is_leaf || (!a_is_leaf && span_of(a) >= span_of(b))) {
-    dual_walk(a.left, ib, cutoff, out);
-    dual_walk(a.right, ib, cutoff, out);
-  } else {
-    dual_walk(ia, b.left, cutoff, out);
-    dual_walk(ia, b.right, cutoff, out);
-  }
-}
-
 std::vector<LeafPair> RcbTree::interacting_pairs(double cutoff) const {
   std::vector<LeafPair> pairs;
-  if (root_ < 0) return pairs;
-  dual_walk(root_, root_, cutoff, pairs);
+  for_each_pair(cutoff, [&pairs](const LeafPair& lp) {
+    assert(lp.a <= lp.b);
+    pairs.push_back(lp);
+  });
 #ifndef NDEBUG
   // The recursion partitions leaf pairs by their deepest common ancestor, so
   // every unordered pair is visited exactly once and the list is duplicate-

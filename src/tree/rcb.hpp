@@ -65,10 +65,29 @@ class RcbTree {
   // Leaf index containing tree slot k.
   std::int32_t leaf_of_slot(std::int32_t k) const { return slot_leaf_[k]; }
 
-  // All leaf pairs whose bounding boxes come within `cutoff` of each other
-  // under the minimum-image convention (self pairs included).  Pairs are
-  // canonical (a <= b) and duplicate-free by construction; they are emitted
-  // in traversal order, not sorted.
+  // Re-bins moved positions into the existing leaves: keeps the permutation
+  // and topology, recomputes every leaf AABB from the current positions and
+  // propagates the boxes up the internal nodes.  Pair enumeration against
+  // the refreshed boxes stays exact for the drifted positions — the basis of
+  // the Verlet-skin reuse in domain::InteractionDomain.  `pos` must be the
+  // same particles (same count, same indexing) the tree was built from;
+  // throws std::invalid_argument on a count mismatch.
+  void refresh(std::span<const util::Vec3d> pos);
+
+  // Streamed dual-tree traversal: invokes `visit(LeafPair)` for every leaf
+  // pair whose bounding boxes come within `cutoff` of each other under the
+  // minimum-image convention (self pairs included).  Pairs are canonical
+  // (a <= b) and duplicate-free by construction — the recursion partitions
+  // leaf pairs by their deepest common ancestor — and are emitted in
+  // traversal order.  This is the hot-path API; interacting_pairs() is the
+  // materializing wrapper kept for tests and the FMM interaction builder.
+  template <typename Visitor>
+  void for_each_pair(double cutoff, Visitor&& visit) const {
+    if (root_ < 0) return;
+    walk_pairs(root_, root_, cutoff, visit);
+  }
+
+  // All interacting leaf pairs, materialized in traversal order.
   std::vector<LeafPair> interacting_pairs(double cutoff) const;
 
   // Minimum-image distance between two leaf AABBs (0 when overlapping).
@@ -82,9 +101,40 @@ class RcbTree {
  private:
   std::int32_t build(std::int32_t begin, std::int32_t end,
                      std::span<const util::Vec3d> pos);
-  void dual_walk(std::int32_t na, std::int32_t nb, double cutoff,
-                 std::vector<LeafPair>& out) const;
   double node_distance(const Node& a, const Node& b) const;
+
+  template <typename Visitor>
+  void walk_pairs(std::int32_t ia, std::int32_t ib, double cutoff,
+                  Visitor& visit) const {
+    const Node& a = nodes_[ia];
+    const Node& b = nodes_[ib];
+    if (node_distance(a, b) > cutoff) return;
+    const bool a_is_leaf = a.leaf >= 0;
+    const bool b_is_leaf = b.leaf >= 0;
+    if (a_is_leaf && b_is_leaf) {
+      // Leaves are numbered in slot order and the walk only ever pairs an
+      // earlier subtree's node on the left, so the pair is already canonical.
+      visit(LeafPair{a.leaf, b.leaf});
+      return;
+    }
+    // Descend the larger (non-leaf) node; for self pairs descend both sides.
+    if (ia == ib) {
+      walk_pairs(a.left, a.left, cutoff, visit);
+      walk_pairs(a.right, a.right, cutoff, visit);
+      walk_pairs(a.left, a.right, cutoff, visit);
+      return;
+    }
+    const auto span_of = [](const Node& n) {
+      return (n.hi.x - n.lo.x) + (n.hi.y - n.lo.y) + (n.hi.z - n.lo.z);
+    };
+    if (b_is_leaf || (!a_is_leaf && span_of(a) >= span_of(b))) {
+      walk_pairs(a.left, ib, cutoff, visit);
+      walk_pairs(a.right, ib, cutoff, visit);
+    } else {
+      walk_pairs(ia, b.left, cutoff, visit);
+      walk_pairs(ia, b.right, cutoff, visit);
+    }
+  }
 
   double box_;
   int leaf_size_;

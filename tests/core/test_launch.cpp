@@ -25,7 +25,7 @@ TEST(KernelRegistry, UnknownKernelThrows) {
   xsycl::Queue q(pool);
   sph::PipelineOptions popt;
   const auto pipe = sph::build_pipeline(gas, popt);
-  EXPECT_THROW(KernelRegistry::instance().run("bogus", q, gas, *pipe.tree, pipe.pairs,
+  EXPECT_THROW(KernelRegistry::instance().run("bogus", q, gas, pipe.domain->all(), pipe.pairs,
                                               popt.hydro),
                std::out_of_range);
 }
@@ -43,7 +43,7 @@ TEST(KernelRegistry, LaunchByNameMatchesDirectCall) {
   {
     xsycl::Queue q(pool);
     const auto pipe = sph::build_pipeline(by_name, popt);
-    KernelRegistry::instance().run("upGeo", q, by_name, *pipe.tree, pipe.pairs,
+    KernelRegistry::instance().run("upGeo", q, by_name, pipe.domain->all(), pipe.pairs,
                                    popt.hydro);
   }
   // Direct call.
@@ -51,7 +51,7 @@ TEST(KernelRegistry, LaunchByNameMatchesDirectCall) {
   {
     xsycl::Queue q(pool);
     const auto pipe = sph::build_pipeline(direct, popt);
-    sph::run_geometry(q, direct, *pipe.tree, pipe.pairs, popt.hydro);
+    sph::run_geometry(q, direct, pipe.domain->all(), pipe.pairs, popt.hydro);
   }
   for (std::size_t i = 0; i < base.size(); ++i) {
     ASSERT_NEAR(by_name.V[i], direct.V[i], 1e-7);
@@ -65,7 +65,7 @@ TEST(KernelRegistry, RegisteredRunnerRecordsTimerUnderItsName) {
   xsycl::Queue q(pool, &timers);
   sph::PipelineOptions popt;
   const auto pipe = sph::build_pipeline(gas, popt);
-  KernelRegistry::instance().run("upBarAcF", q, gas, *pipe.tree, pipe.pairs,
+  KernelRegistry::instance().run("upBarAcF", q, gas, pipe.domain->all(), pipe.pairs,
                                  popt.hydro);
   EXPECT_GT(timers.get("upBarAcF").calls, 0u);
   EXPECT_EQ(timers.get("upBarAc").calls, 0u);
@@ -74,10 +74,10 @@ TEST(KernelRegistry, RegisteredRunnerRecordsTimerUnderItsName) {
 TEST(KernelRegistry, CustomRegistrationVisible) {
   auto& reg = KernelRegistry::instance();
   reg.register_kernel("testOnly", [](xsycl::Queue& q, ParticleSet& p,
-                                     const tree::RcbTree& tr,
-                                     std::span<const tree::LeafPair> pairs,
+                                     const domain::SpeciesView& view,
+                                     const domain::PairSource& pairs,
                                      const sph::HydroOptions& opt) {
-    return sph::run_geometry(q, p, tr, pairs, opt, "testOnly");
+    return sph::run_geometry(q, p, view, pairs, opt, "testOnly");
   });
   EXPECT_TRUE(reg.has("testOnly"));
 }

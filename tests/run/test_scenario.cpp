@@ -88,6 +88,39 @@ TEST(Scenario, ApplyConfigRejectsBadValues) {
   rejects("run.outputs_z", "10,abc");
   rejects("np", "1");
   rejects("z_final", "500");  // z_init defaults to 200: must be > z_final
+  rejects("domain.skin", "-0.5");
+  rejects("domain.skin", "nan");
+  rejects("domain.rebuild", "sometimes");
+}
+
+TEST(Scenario, DomainKeysRoundTripThroughConfig) {
+  Scenario s;
+  ASSERT_TRUE(find_scenario("paper-benchmark", s));
+  EXPECT_DOUBLE_EQ(s.sim.domain_skin, 0.0);
+  EXPECT_EQ(s.sim.domain_rebuild, domain::RebuildPolicy::kAlways);
+
+  util::Config cfg;
+  cfg.set("domain.skin", "0.25");
+  cfg.set("domain.rebuild", "displacement");
+  std::string error;
+  ASSERT_TRUE(apply_config(cfg, s.sim, s.run, error)) << error;
+  EXPECT_DOUBLE_EQ(s.sim.domain_skin, 0.25);
+  EXPECT_EQ(s.sim.domain_rebuild, domain::RebuildPolicy::kDisplacement);
+
+  // Spell the parsed policy back into a config and apply it again: the
+  // round trip must land on the same enum value.
+  util::Config back;
+  back.set("domain.rebuild", domain::to_string(s.sim.domain_rebuild));
+  Scenario fresh;
+  ASSERT_TRUE(find_scenario("paper-benchmark", fresh));
+  ASSERT_TRUE(apply_config(back, fresh.sim, fresh.run, error)) << error;
+  EXPECT_EQ(fresh.sim.domain_rebuild, domain::RebuildPolicy::kDisplacement);
+
+  // Domain knobs are execution tuning: they must not change the physics
+  // signature a restart is validated against.
+  Scenario base;
+  ASSERT_TRUE(find_scenario("paper-benchmark", base));
+  EXPECT_EQ(core::config_signature(base.sim), core::config_signature(s.sim));
 }
 
 TEST(StepMode, StringRoundTrip) {
