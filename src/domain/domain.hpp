@@ -96,7 +96,7 @@ class PairSource {
 
   // NOLINTNEXTLINE(google-explicit-constructor): call-site compatibility.
   PairSource(std::span<const tree::LeafPair> pairs) : pairs_(pairs) {}
-  // NOLINTNEXTLINE(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): call-site compatibility.
   PairSource(const std::vector<tree::LeafPair>& pairs) : pairs_(pairs) {}
 
   /// A streamed source over the domain's shared tree at the given cutoff.

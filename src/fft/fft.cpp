@@ -82,6 +82,7 @@ Fft3D::Fft3D(int n, util::ThreadPool& pool)
 void Fft3D::transform_pencils(cplx* data, std::int64_t n_pencils, int len,
                               bool inverse) const {
   const Twiddles& tw = *tw_;
+  // shared: data (disjoint pencil rows per index; no cross-chunk writes).
   pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t p = b; p < e; ++p) {
       fft_1d(data + p * len, len, inverse, tw);
@@ -101,6 +102,7 @@ void Fft3D::transform_strided(cplx* data, int len, std::int64_t outer_count,
   const std::int64_t chunk = std::max<std::int64_t>(
       1, items / (static_cast<std::int64_t>(pool_->size()) * 8));
   const Twiddles& tw = *tw_;
+  // shared: data (disjoint outer x tile blocks per index; buf is per-chunk).
   pool_->parallel_for_chunks(items, chunk, [&](std::int64_t b, std::int64_t e) {
     std::vector<cplx> buf(static_cast<std::size_t>(kTile) * len);
     for (std::int64_t it = b; it < e; ++it) {
@@ -140,6 +142,7 @@ void Fft3D::inverse(std::vector<cplx>& grid) const {
   transform_strided(grid.data(), n, n, nn, n, n, true);                    // y
   transform_strided(grid.data(), n, n, n, n, nn, true);                    // x
   const double norm = 1.0 / static_cast<double>(size());
+  // shared: grid (element-wise scale, disjoint index ranges).
   pool_->parallel_for_chunks(static_cast<std::int64_t>(grid.size()), 4096,
                              [&](std::int64_t b, std::int64_t e) {
                                for (std::int64_t i = b; i < e; ++i) grid[i] *= norm;
@@ -156,6 +159,7 @@ void Fft3D::forward_r2c(std::span<const double> real, std::vector<cplx>& half) c
   const Twiddles& tw = *tw_;
   // z: real pencils packed two samples per complex slot, transformed at half
   // length, untangled through Hermitian symmetry into nh = n/2 + 1 modes.
+  // shared: half (disjoint pencil rows per index).
   pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t p = b; p < e; ++p) {
       const double* x = real.data() + p * n;
@@ -197,6 +201,7 @@ void Fft3D::inverse_c2r(std::vector<cplx>& half, std::span<double> real) const {
   const double scale = 2.0 / (static_cast<double>(n) * n * n);
   const std::int64_t n_pencils = static_cast<std::int64_t>(n) * n;
   const Twiddles& tw = *tw_;
+  // shared: half, real (disjoint pencil rows per index).
   pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t p = b; p < e; ++p) {
       cplx* row = half.data() + p * nh;

@@ -25,6 +25,7 @@ FmmEvaluator::FmmEvaluator(const RcbTree& tree, std::span<const Vec3d> pos,
   for (std::int32_t n = 0; n < static_cast<std::int32_t>(nodes.size()); ++n) {
     if (nodes[n].is_leaf()) leaf_nodes.push_back(n);
   }
+  // shared: multipoles_ (one slot per leaf node index).
   pool.parallel_for(static_cast<std::int64_t>(leaf_nodes.size()), [&](std::int64_t k) {
     const RcbTree::Node& node = nodes[leaf_nodes[k]];
     Multipole mp;
@@ -227,6 +228,8 @@ FarFieldStats FmmEvaluator::evaluate_far(const InteractionLists& lists,
                            : std::numeric_limits<double>::infinity();
   std::atomic<std::uint64_t> m2p_total{0};
 
+  // shared: arrays.ax/ay/az (leaves own disjoint slot ranges), m2p_total
+  // (relaxed atomic tally).
   pool_->parallel_for(static_cast<std::int64_t>(leaves.size()), [&](std::int64_t li) {
     const std::int64_t s_begin = lists.far_offsets[li];
     const std::int64_t s_end = lists.far_offsets[li + 1];

@@ -88,6 +88,7 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
   }
   const int nh = fft_.half_nz();
   const double two_pi_over_l = 2.0 * M_PI / box;
+  // shared: phi_k_, comp_k_ (disjoint kx-plane rows per index).
   pool_->parallel_for_chunks(n, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t ix = b; ix < e; ++ix) {
       const int nx = signed_freq(static_cast<int>(ix), n);
@@ -154,6 +155,7 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
   }
 
   t0 = util::wtime();
+  // shared: accel (one element per particle index; force_ grids read-only).
   pool_->parallel_for_chunks(
       static_cast<std::int64_t>(pos.size()), 256, [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t i = b; i < e; ++i) {
@@ -188,6 +190,7 @@ void PmSolver::fd_gradient() {
 
   const double* phi = potential_.data().data();
   const std::size_t nn = static_cast<std::size_t>(n) * n;
+  // shared: force_ (disjoint x-plane rows per index; potential_ read-only).
   pool_->parallel_for_chunks(n, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t ix = b; ix < e; ++ix) {
       const double* xp1 = phi + off[4][ix] * nn;

@@ -63,9 +63,11 @@ struct PmPhaseTimes {
   }
 };
 
-/// The long-range Poisson solver.  Not reentrant: compute_forces works in
-/// member workspace buffers reused across calls, so concurrent calls need
-/// one PmSolver instance per caller.
+/// The long-range Poisson solver.  Thread-compatible, not thread-safe:
+/// compute_forces parallelizes internally over the pool but works in member
+/// workspace buffers (mass/potential/force grids, half-spectrum arrays)
+/// reused across calls, so concurrent calls need one PmSolver instance per
+/// caller (docs/CONCURRENCY.md).
 class PmSolver {
  public:
   explicit PmSolver(const PmOptions& opt,

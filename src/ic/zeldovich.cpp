@@ -26,6 +26,7 @@ ZeldovichField ZeldovichGenerator::generate(double lattice_offset_cells) const {
   // shared between species.
   std::vector<fft::cplx> delta(n3);
   const util::CounterRng rng(opt_.seed);
+  // shared: delta (one element per index; rng is counter-based, stateless).
   pool_->parallel_for_chunks(static_cast<std::int64_t>(n3), 4096,
                              [&](std::int64_t b, std::int64_t e) {
                                for (std::int64_t i = b; i < e; ++i) {

@@ -68,6 +68,7 @@ void CicDepositor::deposit(GridD& grid, std::span<const util::Vec3d> pos,
   slab_of_.resize(np);
   order_.resize(np);
   const double cell = box / n;
+  // shared: slab_of_ (one element per particle index).
   pool_->parallel_for_chunks(
       static_cast<std::int64_t>(np), 4096, [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t p = b; p < e; ++p) {
@@ -89,6 +90,7 @@ void CicDepositor::deposit(GridD& grid, std::span<const util::Vec3d> pos,
 
   const auto scatter_phase = [&](int parity) {
     const std::int64_t count = (n_slabs - parity + 1) / 2;
+    // shared: grid (same-parity slabs touch disjoint stencil rows).
     pool_->parallel_for_chunks(count, 1, [&](std::int64_t b, std::int64_t e) {
       for (std::int64_t si = b; si < e; ++si) {
         const int s = static_cast<int>(2 * si) + parity;

@@ -43,6 +43,11 @@ void cic_deposit(GridD& grid, std::span<const util::Vec3d> pos,
 // grid rows with no atomics.  The result is deterministic for a fixed
 // particle order regardless of thread count, and differs from the serial
 // deposit only by floating-point summation order.
+//
+// Thread-compatible, not thread-safe: deposit() parallelizes internally over
+// the pool but mutates the persistent bucketing scratch, so concurrent
+// deposit() calls on one CicDepositor are a race — give each driver thread
+// its own instance (docs/CONCURRENCY.md).
 class CicDepositor {
  public:
   explicit CicDepositor(util::ThreadPool& pool = util::ThreadPool::global());

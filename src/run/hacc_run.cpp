@@ -10,8 +10,10 @@
 // run.log and print a human summary here.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
 
 #include "run/scenario.hpp"
@@ -95,7 +97,21 @@ int main(int argc, char** argv) {
   }
   scenario.run.echo_steps = true;
 
-  hacc::util::ThreadPool pool(static_cast<unsigned>(cli.get_int("threads", 0)));
+  // Pool size: `threads=N` overrides HACC_NUM_THREADS; 0 = hardware
+  // concurrency.  The env value is validated even when overridden — a
+  // garbage HACC_NUM_THREADS is always a loud usage error, never silently
+  // masked or a silent serial run.
+  unsigned n_threads = 0;
+  try {
+    n_threads = hacc::util::ThreadPool::parse_thread_count(
+        std::getenv("HACC_NUM_THREADS"));  // NOLINT(concurrency-mt-unsafe): single-threaded startup
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "hacc_run: %s\n", e.what());
+    return 1;
+  }
+  n_threads = static_cast<unsigned>(
+      cli.get_int("threads", static_cast<long>(n_threads)));
+  hacc::util::ThreadPool pool(n_threads);
   std::printf("hacc_run: scenario %s (%s)\n", scenario.name.c_str(),
               scenario.summary.c_str());
   std::printf(

@@ -27,7 +27,9 @@ struct ExtrasTraits {
   float* dvel_out;
   float box;
 
-  State load(std::int32_t i) const { return load_hydro_state(*p, i); }
+  // load_extras_state, not load_hydro_state: rho_out aliases p->rho, so a
+  // plain load of p->rho here would race the atomic commits below.
+  State load(std::int32_t i) const { return load_extras_state(*p, i); }
 
   Accum interact(const State& own, const State& other) const {
     const auto term = extras_term(to_side(own), to_side(other), box);

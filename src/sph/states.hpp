@@ -68,6 +68,24 @@ inline HydroState load_hydro_state(const core::ParticleSet& p, std::int32_t i) {
   return s;
 }
 
+// Loader for the Extras kernel only: p.rho is that kernel's *output* array
+// while the launch is in flight (sub-groups commit into it via atomic_ref as
+// others load states), so a plain read of it here is a data race — and
+// extras_term consumes none of rho/P/cs.  Zero them instead of loading.
+inline HydroState load_extras_state(const core::ParticleSet& p, std::int32_t i) {
+  HydroState s;
+  s.px = p.x[i]; s.py = p.y[i]; s.pz = p.z[i];
+  s.vx = p.vx[i]; s.vy = p.vy[i]; s.vz = p.vz[i];
+  s.mass = p.mass[i]; s.h = p.h[i]; s.V = p.V[i];
+  s.rho = 0.f; s.P = 0.f; s.cs = 0.f;
+  for (int k = 0; k < core::crk_idx::kCount; ++k) {
+    s.crk[k] = p.crk[core::crk_idx::kCount * i + k];
+  }
+  s.idx = i;
+  s.valid = 1;
+  return s;
+}
+
 // ---- Conversions to the templated physics side ----
 
 inline HydroSide<float> to_side(const GeoState& s) {

@@ -1,0 +1,46 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute wrappers.  Annotating the mutex
+// discipline makes data-race freedom a compiler-checked property: the CI
+// `thread-safety` job compiles the tree with clang and -Werror=thread-safety,
+// so an unguarded access to a HACC_GUARDED_BY member is a build error, not a
+// comment that rotted.  On GCC (and every non-clang compiler) the macros
+// expand to nothing and the annotated code is identical to the plain version.
+//
+// The annotations only attach to util::Mutex / util::MutexLock (mutex.hpp),
+// not to std::mutex: libstdc++'s standard mutexes carry no capability
+// attributes, so the analysis cannot see through them.  Use the util types
+// for any lock whose discipline is worth checking.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define HACC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HACC_THREAD_ANNOTATION(x)
+#endif
+
+// Type annotations.
+#define HACC_CAPABILITY(x) HACC_THREAD_ANNOTATION(capability(x))
+#define HACC_SCOPED_CAPABILITY HACC_THREAD_ANNOTATION(scoped_lockable)
+
+// Member annotations: the member may only be touched while holding `x`
+// (GUARDED_BY), or the pointee may only be touched while holding `x`
+// (PT_GUARDED_BY).
+#define HACC_GUARDED_BY(x) HACC_THREAD_ANNOTATION(guarded_by(x))
+#define HACC_PT_GUARDED_BY(x) HACC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function annotations: what the function acquires, releases, or expects.
+#define HACC_ACQUIRE(...) HACC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HACC_RELEASE(...) HACC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HACC_TRY_ACQUIRE(...) HACC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define HACC_REQUIRES(...) HACC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HACC_EXCLUDES(...) HACC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define HACC_RETURN_CAPABILITY(x) HACC_THREAD_ANNOTATION(lock_returned(x))
+#define HACC_ASSERT_CAPABILITY(x) HACC_THREAD_ANNOTATION(assert_capability(x))
+
+// Escape hatch for functions whose locking is correct but inexpressible
+// (e.g. the BasicLockable shims a condition variable re-locks through).
+// Every use needs an adjacent comment justifying why the analysis is off.
+#define HACC_NO_THREAD_SAFETY_ANALYSIS \
+  HACC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,60 @@
+#pragma once
+
+// Annotated mutex types for clang Thread Safety Analysis (annotations.hpp).
+// std::mutex / std::lock_guard work fine at runtime but are invisible to the
+// analysis (libstdc++ ships them unannotated), so every mutex whose locking
+// discipline should be compiler-checked uses util::Mutex + util::MutexLock
+// instead.  The wrappers compile down to the std types they hold.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace hacc::util {
+
+// A std::mutex the analysis can track.  Prefer MutexLock over manual
+// lock()/unlock() pairs.
+class HACC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HACC_ACQUIRE() { mu_.lock(); }
+  void unlock() HACC_RELEASE() { mu_.unlock(); }
+  bool try_lock() HACC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex — the std::lock_guard equivalent, plus the
+// BasicLockable surface CondVar::wait needs to release/reacquire the mutex
+// around a sleep.  From the analysis' point of view the capability is held
+// for the whole wait, which is sound: the caller re-checks its predicate
+// under the lock after every wakeup.
+class HACC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HACC_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() HACC_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable shims for CondVar::wait only.  Unannotated on purpose:
+  // the wait's transient unlock/relock is invisible to the analysis by
+  // design (see the class comment); annotating these would make the wait
+  // body itself ill-formed under -Werror=thread-safety.
+  void lock() HACC_NO_THREAD_SAFETY_ANALYSIS { mu_->lock(); }
+  void unlock() HACC_NO_THREAD_SAFETY_ANALYSIS { mu_->unlock(); }
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable usable with MutexLock: wait(MutexLock&) releases and
+// reacquires the annotated mutex through the BasicLockable shims above.
+using CondVar = std::condition_variable_any;
+
+}  // namespace hacc::util

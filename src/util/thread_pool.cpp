@@ -1,8 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace hacc::util {
 
@@ -18,7 +21,7 @@ ThreadPool::ThreadPool(unsigned n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -30,8 +33,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock lock(mu_);
-      cv_work_.wait(lock, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen_seq); });
+      MutexLock lock(mu_);
+      while (!stop_ && !(job_ != nullptr && job_seq_ != seen_seq)) {
+        cv_work_.wait(lock);
+      }
       if (stop_) return;
       job = job_;
       seen_seq = job_seq_;
@@ -47,7 +52,7 @@ void ThreadPool::run_chunks(Job& job) {
   for (;;) {
     std::int64_t begin;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (job.next >= job.n) break;
       begin = job.next;
       job.next += job.chunk;
@@ -55,11 +60,11 @@ void ThreadPool::run_chunks(Job& job) {
     const std::int64_t end = std::min(begin + job.chunk, job.n);
     (*job.body)(begin, end);
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --job.remaining;
     }
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (--job.active == 0 && job.remaining == 0) cv_done_.notify_all();
 }
 
@@ -79,17 +84,17 @@ void ThreadPool::parallel_for_chunks(std::int64_t n, std::int64_t chunk,
   job.remaining = (n + chunk - 1) / chunk;
   job.active = 1;  // the submitting thread participates too
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     job_ = &job;
     ++job_seq_;
   }
   cv_work_.notify_all();
   run_chunks(job);
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     // Wait until every chunk completed AND every worker left run_chunks;
     // only then is it safe to destroy the stack-allocated job.
-    cv_done_.wait(lock, [&] { return job.remaining == 0 && job.active == 0; });
+    while (!(job.remaining == 0 && job.active == 0)) cv_done_.wait(lock);
     job_ = nullptr;
   }
 }
@@ -105,14 +110,30 @@ void ThreadPool::parallel_for(std::int64_t n, const std::function<void(std::int6
   parallel_for_chunks(n, chunk, wrapped);
 }
 
+unsigned ThreadPool::parse_thread_count(const char* text) {
+  if (text == nullptr) return 0;
+  const char* p = text;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') return 0;  // set-but-empty behaves like unset
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(p, &end, 10);
+  const char* rest = end;
+  while (std::isspace(static_cast<unsigned char>(*rest))) ++rest;
+  if (end == p || *rest != '\0' || errno == ERANGE || v < 0 || v > kMaxThreads) {
+    throw std::invalid_argument(
+        std::string("HACC_NUM_THREADS must be an integer in [0, ") +
+        std::to_string(kMaxThreads) + "] (0 = hardware concurrency), got '" +
+        text + "'");
+  }
+  return static_cast<unsigned>(v);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("HACC_NUM_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<unsigned>(v);
-    }
-    return 0u;
-  }());
+  // NOLINT below: read once at first use to size the process-wide pool; the
+  // process does not setenv concurrently with pool construction.
+  static ThreadPool pool(
+      parse_thread_count(std::getenv("HACC_NUM_THREADS")));  // NOLINT(concurrency-mt-unsafe): single read at static init
   return pool;
 }
 

@@ -3,14 +3,14 @@
 namespace hacc::util {
 
 void TimerRegistry::add(const std::string& name, double dt) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& e = timers_[name];
   e.seconds += dt;
   e.calls += 1;
 }
 
 TimerRegistry::Entry TimerRegistry::get(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (auto it = timers_.find(name); it != timers_.end()) return it->second;
   return {};
 }
@@ -22,12 +22,12 @@ double TimerRegistry::total(const std::vector<std::string>& names) const {
 }
 
 std::vector<std::pair<std::string, TimerRegistry::Entry>> TimerRegistry::entries() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {timers_.begin(), timers_.end()};
 }
 
 void TimerRegistry::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   timers_.clear();
 }
 

@@ -8,12 +8,17 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
 namespace hacc::util {
 
+// Thread-safe: kernels running on pool threads add() concurrently with the
+// driver thread reading entries(); every access goes through mu_, and the
+// discipline is compiler-checked via the HACC_GUARDED_BY annotation.
 class TimerRegistry {
  public:
   struct Entry {
@@ -38,8 +43,8 @@ class TimerRegistry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> timers_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> timers_ HACC_GUARDED_BY(mu_);
 };
 
 // RAII guard that brackets an offloaded operation, like HACC's timer macros.

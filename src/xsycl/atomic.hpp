@@ -5,6 +5,13 @@
 // support (NVIDIA) emulate them with a compare-and-swap loop.  We do the
 // same here — the op counters record which flavor ran so the platform model
 // can price native vs. CAS-emulated atomics.
+//
+// Thread-safety: the target word is mutated through std::atomic_ref, so
+// concurrent fetch_* from any number of pool workers is race-free (relaxed
+// ordering — these are commutative accumulations, never synchronization).
+// The counter increments are deliberately NOT atomic: `counters` must be the
+// launch chunk's private OpCounters block (SubGroup::counters()), merged
+// under a lock by Queue::submit_impl — never a block shared across workers.
 
 #include <atomic>
 #include <cstdint>

@@ -5,6 +5,12 @@
 // functional CPU execution and the simulated GPU platforms: the cost model
 // (src/platform) prices each primitive per architecture, reproducing the
 // paper's variant-affinity results without vendor hardware.
+//
+// Concurrency discipline: plain (non-atomic) counters on the hot path, made
+// race-free by ownership, not locks — every launch chunk increments its own
+// OpCounters block and Queue::submit_impl merges the blocks under a mutex
+// after the chunk finishes (per-thread accumulate + merge).  Sharing one
+// block across workers is a data race; the TSan CI job enforces this.
 
 #include <cstdint>
 #include <string>

@@ -18,9 +18,11 @@ LaunchStats Queue::submit_impl(const KernelFn& fn, const std::string& name,
   const std::uint64_t n_wg = (n_sub_groups + sg_per_wg - 1) / sg_per_wg;
 
   OpCounters total;
-  std::mutex merge_mu;
+  util::Mutex merge_mu;
 
   const double t0 = util::wtime();
+  // shared: total (kernel-wide OpCounters, merged under merge_mu); each
+  // chunk otherwise works on its own local_counters and arena slice.
   pool_->parallel_for_chunks(
       static_cast<std::int64_t>(n_wg), /*chunk=*/4,
       [&](std::int64_t wg_begin, std::int64_t wg_end) {
@@ -42,7 +44,7 @@ LaunchStats Queue::submit_impl(const KernelFn& fn, const std::string& name,
             fn(sg);
           }
         }
-        std::lock_guard lock(merge_mu);
+        util::MutexLock lock(merge_mu);
         total.merge(local_counters);
       });
   stats.seconds = util::wtime() - t0;
@@ -50,7 +52,7 @@ LaunchStats Queue::submit_impl(const KernelFn& fn, const std::string& name,
 
   if (timers_ != nullptr) timers_->add(name, stats.seconds);
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     history_.push_back(stats);
   }
   return stats;
@@ -58,6 +60,7 @@ LaunchStats Queue::submit_impl(const KernelFn& fn, const std::string& name,
 
 std::vector<std::pair<std::string, OpCounters>> Queue::aggregate_by_kernel() const {
   std::map<std::string, OpCounters> agg;
+  util::MutexLock lock(mu_);
   for (const auto& s : history_) agg[s.kernel].merge(s.ops);
   return {agg.begin(), agg.end()};
 }

@@ -10,10 +10,11 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "xsycl/sub_group.hpp"
@@ -45,6 +46,11 @@ struct LaunchStats {
   double seconds = 0.0;
 };
 
+// Thread-safe: submit() may be called from several driver threads at once
+// (each launch still fans its work-groups out over the shared pool), and the
+// launch history is snapshotted under mu_.  Kernel bodies themselves see
+// per-chunk OpCounters and disjoint local-arena slices, so they never share
+// mutable state across workers.
 class Queue {
  public:
   explicit Queue(util::ThreadPool& pool = util::ThreadPool::global(),
@@ -60,9 +66,17 @@ class Queue {
         kernel.local_bytes_per_sg(cfg.sub_group_size), n_sub_groups, cfg);
   }
 
-  // History of every launch since construction / last clear.
-  const std::vector<LaunchStats>& history() const { return history_; }
-  void clear_history() { history_.clear(); }
+  // Snapshot of every launch since construction / last clear.  Returns a
+  // copy: a reference into history_ could be invalidated — or torn — by a
+  // concurrent submit().
+  std::vector<LaunchStats> history() const {
+    util::MutexLock lock(mu_);
+    return history_;
+  }
+  void clear_history() {
+    util::MutexLock lock(mu_);
+    history_.clear();
+  }
 
   // Aggregated op counters per kernel name over the recorded history.
   std::vector<std::pair<std::string, OpCounters>> aggregate_by_kernel() const;
@@ -78,8 +92,8 @@ class Queue {
 
   util::ThreadPool* pool_;
   util::TimerRegistry* timers_;
-  std::mutex mu_;
-  std::vector<LaunchStats> history_;
+  mutable util::Mutex mu_;
+  std::vector<LaunchStats> history_ HACC_GUARDED_BY(mu_);
 };
 
 }  // namespace hacc::xsycl

@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "util/thread_pool.hpp"
+
 namespace hacc::util {
 namespace {
 
@@ -65,6 +67,21 @@ TEST(Wtime, IsMonotonic) {
   const double a = wtime();
   const double b = wtime();
   EXPECT_GE(b, a);
+}
+
+TEST(TimerRegistry, ConcurrentAddsFromPoolThreadsAllLand) {
+  // The pattern the solver relies on: kernels on pool workers add() into the
+  // registry while the driver thread reads it.  Exercised under TSan in CI.
+  TimerRegistry reg;
+  ThreadPool pool(8);
+  constexpr std::int64_t n = 2000;
+  pool.parallel_for(n, [&](std::int64_t i) {
+    reg.add(i % 2 == 0 ? "even" : "odd", 0.001);
+    if (i % 100 == 0) (void)reg.entries();  // concurrent reader
+  });
+  EXPECT_EQ(reg.get("even").calls, static_cast<std::uint64_t>(n / 2));
+  EXPECT_EQ(reg.get("odd").calls, static_cast<std::uint64_t>(n / 2));
+  EXPECT_NEAR(reg.total({"even", "odd"}), 0.001 * n, 1e-9);
 }
 
 }  // namespace

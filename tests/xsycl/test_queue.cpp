@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "xsycl/atomic.hpp"
@@ -107,6 +108,32 @@ TEST(Queue, HistoryAggregatesByKernelName) {
   EXPECT_EQ(agg[0].second.sub_groups, 30u);
   q.clear_history();
   EXPECT_TRUE(q.history().empty());
+}
+
+TEST(Queue, ConcurrentSubmittersKeepHistoryConsistent) {
+  // Two driver threads submit into one queue over the shared pool; the
+  // history must record every launch without tearing (TSan-checked in CI).
+  util::ThreadPool pool(4);
+  util::TimerRegistry timers;
+  Queue q(pool, &timers);
+  constexpr int kPerThread = 8;
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<long> lanes{0};
+  const auto driver = [&] {
+    for (int r = 0; r < kPerThread; ++r) {
+      q.submit(MarkKernel{hits.data(), &lanes}, 64, {});
+      (void)q.history();  // concurrent snapshot while the other thread submits
+    }
+  };
+  std::thread a(driver);
+  std::thread b(driver);
+  a.join();
+  b.join();
+  EXPECT_EQ(q.history().size(), 2u * kPerThread);
+  EXPECT_EQ(timers.get("mark").calls, 2u * kPerThread);
+  const auto agg = q.aggregate_by_kernel();
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].second.sub_groups, 2u * kPerThread * 64u);
 }
 
 TEST(Queue, SubGroupSizePropagates) {

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Project lint for the HACC reproduction sources.
+
+Checks that clang-tidy cannot express (or cannot express cheaply), focused on
+the determinism and concurrency conventions documented in docs/CONCURRENCY.md:
+
+  nondeterminism   No rand()/srand()/time()/clock()/std::random_device in
+                   physics sources.  All randomness must flow through the
+                   counter-based RNG (src/util/rng.hpp) so runs are
+                   reproducible for any thread count.
+  no-cout          Library code under src/ must not write to stdout/stderr
+                   (std::cout/cerr/clog, printf/fprintf/puts).  Output is the
+                   responsibility of the allowlisted writers (the hacc_run
+                   front end and the runner's report path).
+  header-hygiene   Every header starts with `#pragma once` and contains no
+                   file-scope `using namespace`.
+  shared-comment   Every parallel_for / parallel_for_chunks call site must
+                   carry a `// shared:` comment within the preceding lines
+                   naming the captured-by-reference state the lambda writes
+                   and why that is race-free.
+  nolint-justified Every NOLINT marker must name the suppressed check(s) and
+                   carry a `: <reason>` justification.  Bare NOLINT is an
+                   error.
+  allowlist        Every allowlist entry must carry a justification, and must
+                   match at least one current finding (stale entries are
+                   errors, so suppressions cannot outlive their cause).
+
+Usage:
+  python3 tools/hacc_lint.py [--allowlist tools/lint_allowlist.txt] [paths...]
+
+Paths default to src/.  Exit status is 0 when clean, 1 when findings remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_SUFFIXES = {".hpp", ".h"}
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx"} | HEADER_SUFFIXES
+
+# How many lines above a parallel_for call site may hold its `// shared:`
+# comment.  Large enough for a short comment block, small enough that the
+# comment stays adjacent to the lambda it documents.
+SHARED_COMMENT_WINDOW = 10
+
+NONDETERMINISM_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\btime\s*\("), "time()"),
+    (re.compile(r"\bclock\s*\("), "clock()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+]
+
+OUTPUT_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*cout\b"), "std::cout"),
+    (re.compile(r"\bstd\s*::\s*cerr\b"), "std::cerr"),
+    (re.compile(r"\bstd\s*::\s*clog\b"), "std::clog"),
+    # Lookbehind admits `std::printf` but not `snprintf`/`obj.printf`.
+    (re.compile(r"(?<![\w.>])printf\s*\("), "printf()"),
+    (re.compile(r"\bfprintf\s*\("), "fprintf()"),
+    (re.compile(r"(?<![\w.>])puts\s*\("), "puts()"),
+]
+
+# Member invocations only (`pool.parallel_for`, `pool_->parallel_for_chunks`);
+# declarations and qualified definitions spell `ThreadPool::parallel_for` or a
+# bare name and are not launch sites.
+PARALLEL_FOR_CALL = re.compile(r"(?:->|\.)\s*parallel_for(?:_chunks)?\s*(?:<[^>]*>\s*)?\(")
+SHARED_COMMENT = re.compile(r"//\s*shared:")
+
+# `NOLINT(check): reason`, `NOLINTNEXTLINE(check,check2): reason`.  The check
+# list and the justification are both mandatory.
+NOLINT_ANY = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?\b")
+NOLINT_JUSTIFIED = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?\([\w.,\-* ]+\)\s*:\s*\S")
+# Prose mentions of the marker ("// NOLINT below: ...") are commentary, not
+# suppressions; clang-tidy only honors the marker followed by `(` or
+# end-of-comment, so only flag those.
+NOLINT_ACTIVE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(?:\(|\s*$|\s*\*/)")
+
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comments and string/char literals, preserving line structure.
+
+    A line-oriented scanner with block-comment state; raw strings are treated
+    as plain strings, which is fine for the patterns this lint hunts.
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        n = len(line)
+        quote = None  # current string/char delimiter, or None
+        while i < n:
+            c = line[i]
+            if in_block:
+                if c == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block = False
+                    i += 2
+                    continue
+                i += 1
+                continue
+            if quote is not None:
+                if c == "\\":
+                    i += 2
+                    continue
+                if c == quote:
+                    quote = None
+                i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break  # rest of line is a comment
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                result.append(c)
+                i += 1
+                continue
+            result.append(c)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+def lint_file(path: Path, repo_root: Path) -> list[Finding]:
+    rel = path.relative_to(repo_root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(rel, 0, "io", f"unreadable: {e}")]
+    lines = text.splitlines()
+    code = strip_comments_and_strings(lines)
+    findings: list[Finding] = []
+
+    for lineno, stripped in enumerate(code, start=1):
+        for pattern, label in NONDETERMINISM_PATTERNS:
+            if pattern.search(stripped):
+                findings.append(Finding(
+                    rel, lineno, "nondeterminism",
+                    f"{label} breaks reproducibility; use util::CounterRng "
+                    f"(src/util/rng.hpp) or util::wtime"))
+        for pattern, label in OUTPUT_PATTERNS:
+            if pattern.search(stripped):
+                findings.append(Finding(
+                    rel, lineno, "no-cout",
+                    f"{label} in library code; return data or route through "
+                    f"an allowlisted writer"))
+        if PARALLEL_FOR_CALL.search(stripped):
+            lo = max(0, lineno - 1 - SHARED_COMMENT_WINDOW)
+            window = lines[lo:lineno]
+            if not any(SHARED_COMMENT.search(w) for w in window):
+                findings.append(Finding(
+                    rel, lineno, "shared-comment",
+                    "parallel_for call site lacks a `// shared:` comment "
+                    f"within {SHARED_COMMENT_WINDOW} lines naming the "
+                    "captured state the lambda writes"))
+
+    for lineno, raw in enumerate(lines, start=1):
+        if NOLINT_ANY.search(raw) and NOLINT_ACTIVE.search(raw):
+            if not NOLINT_JUSTIFIED.search(raw):
+                findings.append(Finding(
+                    rel, lineno, "nolint-justified",
+                    "NOLINT must name the suppressed check(s) and give a "
+                    "reason: `NOLINT(check-name): why`"))
+
+    if path.suffix in HEADER_SUFFIXES:
+        if not any(PRAGMA_ONCE.match(line) for line in lines[:5]):
+            findings.append(Finding(
+                rel, 1, "header-hygiene",
+                "header must start with `#pragma once`"))
+        for lineno, stripped in enumerate(code, start=1):
+            if USING_NAMESPACE.match(stripped):
+                findings.append(Finding(
+                    rel, lineno, "header-hygiene",
+                    "`using namespace` in a header leaks into every includer"))
+
+    return findings
+
+
+def load_allowlist(path: Path, repo_root: Path) -> tuple[list[tuple[str, str, str, int]], list[Finding]]:
+    """Parse `path | rule | justification` lines.
+
+    Returns (entries, findings-about-the-allowlist-itself).  Each entry is
+    (file-glob, rule, justification, lineno).
+    """
+    entries: list[tuple[str, str, str, int]] = []
+    problems: list[Finding] = []
+    if not path.exists():
+        return entries, problems
+    rel = path.relative_to(repo_root).as_posix()
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) != 3 or not all(parts):
+            problems.append(Finding(
+                rel, lineno, "allowlist",
+                "malformed entry; expected `path | rule | justification` "
+                "with all three fields non-empty"))
+            continue
+        entries.append((parts[0], parts[1], parts[2], lineno))
+    return entries, problems
+
+
+def apply_allowlist(findings: list[Finding],
+                    entries: list[tuple[str, str, str, int]],
+                    allowlist_rel: str) -> list[Finding]:
+    used = [False] * len(entries)
+    kept: list[Finding] = []
+    for f in findings:
+        suppressed = False
+        for idx, (glob, rule, _just, _lineno) in enumerate(entries):
+            if rule == f.rule and Path(f.path).match(glob):
+                used[idx] = True
+                suppressed = True
+        if not suppressed:
+            kept.append(f)
+    for idx, (glob, rule, _just, lineno) in enumerate(entries):
+        if not used[idx]:
+            kept.append(Finding(
+                allowlist_rel, lineno, "allowlist",
+                f"stale entry `{glob} | {rule}`: no current finding matches; "
+                f"remove it"))
+    return kept
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(q for q in p.rglob("*") if q.suffix in SOURCE_SUFFIXES))
+        elif p.suffix in SOURCE_SUFFIXES:
+            files.append(p)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="allowlist file (default: tools/lint_allowlist.txt)")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    paths = args.paths or [repo_root / "src"]
+    allowlist_path = args.allowlist or repo_root / "tools" / "lint_allowlist.txt"
+
+    entries, findings = load_allowlist(allowlist_path, repo_root)
+    for f in collect_files(paths):
+        findings.extend(lint_file(f.resolve(), repo_root))
+
+    try:
+        allowlist_rel = allowlist_path.resolve().relative_to(repo_root).as_posix()
+    except ValueError:
+        allowlist_rel = str(allowlist_path)
+    findings = apply_allowlist(findings, entries, allowlist_rel)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"hacc_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
