@@ -7,6 +7,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hacc::core {
@@ -86,6 +87,11 @@ sph::HydroOptions hydro_options(const SimConfig& cfg, xsycl::CommVariant v) {
 
 Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
     : cfg_(cfg), pool_(&pool), queue_(pool, &timers_) {
+  t_tree_build_ = timers_.handle("tree_build");
+  t_grav_pm_ = timers_.handle("grav_pm");
+  t_grav_pp_ = timers_.handle("grav_pp");
+  t_grav_fmm_ = timers_.handle("grav_fmm");
+  t_grav_far_ = timers_.handle("grav_far");
   a_ = ic::Cosmology::a_of_z(cfg_.z_init);
   const double a_final = ic::Cosmology::a_of_z(cfg_.z_final);
   da_ = (a_final - a_) / cfg_.n_steps;
@@ -265,7 +271,7 @@ void Solver::compute_forces(bool corrector) {
   // kernels consume species-filtered views of that tree.
   assemble_gravity_inputs();
   {
-    util::ScopedTimer t(timers_, "tree_build");
+    util::ScopedTimer t(timers_, t_tree_build_);
     domain_->update(grav_pos_, dm_.size());
   }
 
@@ -283,14 +289,17 @@ void Solver::compute_forces(bool corrector) {
     // below has a single consumer and streams its pairs without
     // materializing.
     sph_pairs_scratch_.clear();
-    domain_->for_each_pair(
-        sph::support_cutoff(gas_), [this, &gas_view](const tree::LeafPair& lp) {
-          if (gas_view.leaves[lp.a].count() == 0 ||
-              gas_view.leaves[lp.b].count() == 0) {
-            return;
-          }
-          sph_pairs_scratch_.push_back(lp);
-        });
+    {
+      const obs::TraceSpan span("core.sph_pairs");
+      domain_->for_each_pair(
+          sph::support_cutoff(gas_), [this, &gas_view](const tree::LeafPair& lp) {
+            if (gas_view.leaves[lp.a].count() == 0 ||
+                gas_view.leaves[lp.b].count() == 0) {
+              return;
+            }
+            sph_pairs_scratch_.push_back(lp);
+          });
+    }
     const domain::PairSource sph_pairs(sph_pairs_scratch_);
     const auto& v = cfg_.variants;
     sph::run_geometry(queue_, gas_, gas_view, sph_pairs,
@@ -311,7 +320,8 @@ void Solver::compute_forces(bool corrector) {
   // with rhobar = 1 by the mass normalization. ----
   const double g_code = 3.0 * cfg_.cosmo.omega_m / (8.0 * M_PI * a_);
   if (pm_) {
-    util::ScopedTimer t(timers_, "grav_pm");
+    const obs::TraceSpan span("gravity.pm");
+    util::ScopedTimer t(timers_, t_grav_pm_);
     pm_->set_gravitational_constant(g_code);
     pm_->compute_forces(grav_pos_, grav_mass_d_, grav_accel_pm_);
   } else {
@@ -330,7 +340,8 @@ void Solver::compute_forces(bool corrector) {
   ppopt.launch.sg_per_wg = cfg_.sg_per_wg;
 
   if (cfg_.gravity_backend == GravityBackend::kPmPp) {
-    util::ScopedTimer t(timers_, "grav_pp");
+    const obs::TraceSpan span("gravity.pp");
+    util::ScopedTimer t(timers_, t_grav_pp_);
     run_pp_short(queue_, arrays, domain_->all(),
                  domain_->pairs(poly_->r_cut()), *poly_, ppopt);
   } else {
@@ -340,16 +351,19 @@ void Solver::compute_forces(bool corrector) {
     std::optional<fmm::FmmEvaluator> evaluator;
     fmm::InteractionLists lists;
     {
-      util::ScopedTimer t(timers_, "grav_fmm");
+      const obs::TraceSpan span("gravity.fmm");
+      util::ScopedTimer t(timers_, t_grav_fmm_);
       evaluator.emplace(domain_->tree(), grav_pos_, grav_mass_d_, *pool_);
       lists = evaluator->build_interactions(cfg_.fmm_theta, r_cut);
     }
     {
-      util::ScopedTimer t(timers_, "grav_pp");
+      const obs::TraceSpan span("gravity.pp");
+      util::ScopedTimer t(timers_, t_grav_pp_);
       run_pp_short(queue_, arrays, domain_->all(), lists.near, *poly_, ppopt);
     }
     {
-      util::ScopedTimer t(timers_, "grav_far");
+      const obs::TraceSpan span("gravity.far");
+      util::ScopedTimer t(timers_, t_grav_far_);
       fmm::FarOptions fopt;
       fopt.box = cfg_.box;
       fopt.G = g_code;
@@ -420,6 +434,10 @@ void Solver::drift(double a0, double a1) {
 
 StepStats Solver::step() {
   require_initialized("step()");
+  // The top-level lane span: tools/trace_report.py and the golden events
+  // test reconcile the sum of core.step durations against StepStats wall
+  // time, so this span must cover everything t0 below measures.
+  const obs::TraceSpan step_span("core.step");
   const double t0 = util::wtime();
   const domain::DomainStats dom0 = domain_->stats();
   const double tree_t0 = timers_.seconds("tree_build");
@@ -428,11 +446,20 @@ StepStats Solver::step() {
   const double a1 = a_ + da_;
   const double amid = 0.5 * (a0 + a1);
 
-  kick(cfg_.cosmo.kick_factor(a0, amid), a0);
-  drift(a0, a1);
+  {
+    const obs::TraceSpan span("core.kick");
+    kick(cfg_.cosmo.kick_factor(a0, amid), a0);
+  }
+  {
+    const obs::TraceSpan span("core.drift");
+    drift(a0, a1);
+  }
   a_ = a1;
   compute_forces(/*corrector=*/true);
-  kick(cfg_.cosmo.kick_factor(amid, a1), a1);
+  {
+    const obs::TraceSpan span("core.kick");
+    kick(cfg_.cosmo.kick_factor(amid, a1), a1);
+  }
   ++steps_taken_;
 
   StepStats stats;

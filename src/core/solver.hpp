@@ -248,6 +248,15 @@ class Solver {
   util::TimerRegistry timers_;
   xsycl::Queue queue_;
 
+  // Interned timer handles (TimerRegistry::handle): the per-step force
+  // sections record through an index instead of re-interning a string name
+  // on every ScopedTimer destruction.
+  util::TimerRegistry::Handle t_tree_build_;
+  util::TimerRegistry::Handle t_grav_pm_;
+  util::TimerRegistry::Handle t_grav_pp_;
+  util::TimerRegistry::Handle t_grav_fmm_;
+  util::TimerRegistry::Handle t_grav_far_;
+
   ParticleSet dm_;
   ParticleSet gas_;
   double a_ = 0.0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace hacc::domain {
 
 using util::Vec3d;
@@ -93,6 +95,7 @@ bool InteractionDomain::update(std::span<const Vec3d> pos,
   // positions so pair enumeration stays exact.  The species views carry
   // copies of the leaf boxes — sync them so every view sees the refreshed
   // AABBs.
+  const obs::TraceSpan span("domain.refresh");
   tree_->refresh(pos);
   const auto& leaves = tree_->leaves();
   for (std::size_t l = 0; l < leaves.size(); ++l) {
@@ -107,6 +110,7 @@ bool InteractionDomain::update(std::span<const Vec3d> pos,
 
 void InteractionDomain::rebuild(std::span<const Vec3d> pos,
                                 std::size_t n_first) {
+  const obs::TraceSpan span("domain.build");
   tree_ = std::make_unique<tree::RcbTree>(pos, opt_.box, opt_.leaf_size);
   n_ = pos.size();
   n_first_ = n_first;

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace hacc::fft {
 
 bool is_pow2(int n) { return n >= 2 && (n & (n - 1)) == 0; }
@@ -127,6 +129,7 @@ void Fft3D::transform_strided(cplx* data, int len, std::int64_t outer_count,
 
 void Fft3D::forward(std::vector<cplx>& grid) const {
   assert(grid.size() == size());
+  const obs::TraceSpan span("fft.forward");
   const int n = n_;
   const std::size_t nn = static_cast<std::size_t>(n) * n;
   transform_pencils(grid.data(), static_cast<std::int64_t>(nn), n, false);  // z
@@ -136,6 +139,7 @@ void Fft3D::forward(std::vector<cplx>& grid) const {
 
 void Fft3D::inverse(std::vector<cplx>& grid) const {
   assert(grid.size() == size());
+  const obs::TraceSpan span("fft.inverse");
   const int n = n_;
   const std::size_t nn = static_cast<std::size_t>(n) * n;
   transform_pencils(grid.data(), static_cast<std::int64_t>(nn), n, true);  // z
@@ -159,30 +163,39 @@ void Fft3D::forward_r2c(std::span<const double> real, std::vector<cplx>& half) c
   const Twiddles& tw = *tw_;
   // z: real pencils packed two samples per complex slot, transformed at half
   // length, untangled through Hermitian symmetry into nh = n/2 + 1 modes.
-  // shared: half (disjoint pencil rows per index).
-  pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
-    for (std::int64_t p = b; p < e; ++p) {
-      const double* x = real.data() + p * n;
-      cplx* row = half.data() + p * nh;
-      for (int j = 0; j < n2; ++j) row[j] = cplx(x[2 * j], x[2 * j + 1]);
-      if (n2 >= 2) fft_1d(row, n2, false, tw);
-      const cplx z0 = row[0];
-      row[0] = cplx(z0.real() + z0.imag(), 0.0);
-      row[n2] = cplx(z0.real() - z0.imag(), 0.0);
-      for (int k = 1; 2 * k <= n2; ++k) {
-        const cplx zk = row[k];
-        const cplx zc = std::conj(row[n2 - k]);
-        const cplx even = 0.5 * (zk + zc);
-        const cplx odd = 0.5 * (zk - zc);
-        const cplx t = cplx(0.0, -1.0) * unpack_[k] * odd;
-        row[k] = even + t;
-        row[n2 - k] = std::conj(even - t);
+  {
+    const obs::TraceSpan pass("fft.r2c_z");
+    // shared: half (disjoint pencil rows per index).
+    pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t p = b; p < e; ++p) {
+        const double* x = real.data() + p * n;
+        cplx* row = half.data() + p * nh;
+        for (int j = 0; j < n2; ++j) row[j] = cplx(x[2 * j], x[2 * j + 1]);
+        if (n2 >= 2) fft_1d(row, n2, false, tw);
+        const cplx z0 = row[0];
+        row[0] = cplx(z0.real() + z0.imag(), 0.0);
+        row[n2] = cplx(z0.real() - z0.imag(), 0.0);
+        for (int k = 1; 2 * k <= n2; ++k) {
+          const cplx zk = row[k];
+          const cplx zc = std::conj(row[n2 - k]);
+          const cplx even = 0.5 * (zk + zc);
+          const cplx odd = 0.5 * (zk - zc);
+          const cplx t = cplx(0.0, -1.0) * unpack_[k] * odd;
+          row[k] = even + t;
+          row[n2 - k] = std::conj(even - t);
+        }
       }
-    }
-  });
+    });
+  }
   const std::size_t plane = static_cast<std::size_t>(n) * nh;
-  transform_strided(half.data(), n, n, plane, nh, nh, false);  // y
-  transform_strided(half.data(), n, n, nh, nh, plane, false);  // x
+  {
+    const obs::TraceSpan pass("fft.r2c_y");
+    transform_strided(half.data(), n, n, plane, nh, nh, false);  // y
+  }
+  {
+    const obs::TraceSpan pass("fft.r2c_x");
+    transform_strided(half.data(), n, n, nh, nh, plane, false);  // x
+  }
 }
 
 void Fft3D::inverse_c2r(std::vector<cplx>& half, std::span<double> real) const {
@@ -191,8 +204,14 @@ void Fft3D::inverse_c2r(std::vector<cplx>& half, std::span<double> real) const {
   const int n2 = n / 2;
   const int nh = half_nz();
   const std::size_t plane = static_cast<std::size_t>(n) * nh;
-  transform_strided(half.data(), n, n, nh, nh, plane, true);   // x
-  transform_strided(half.data(), n, n, plane, nh, nh, true);   // y
+  {
+    const obs::TraceSpan pass("fft.c2r_x");
+    transform_strided(half.data(), n, n, nh, nh, plane, true);  // x
+  }
+  {
+    const obs::TraceSpan pass("fft.c2r_y");
+    transform_strided(half.data(), n, n, plane, nh, nh, true);  // y
+  }
   // z: retangle the half spectrum into the packed half-length spectrum,
   // inverse-transform, and unpack the interleaved real samples.  The single
   // 1/n^3 normalization of the whole inverse is folded into `scale` (the two
@@ -201,6 +220,7 @@ void Fft3D::inverse_c2r(std::vector<cplx>& half, std::span<double> real) const {
   const double scale = 2.0 / (static_cast<double>(n) * n * n);
   const std::int64_t n_pencils = static_cast<std::int64_t>(n) * n;
   const Twiddles& tw = *tw_;
+  const obs::TraceSpan pass("fft.c2r_z");
   // shared: half, real (disjoint pencil rows per index).
   pool_->parallel_for_chunks(n_pencils, /*chunk=*/8, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t p = b; p < e; ++p) {

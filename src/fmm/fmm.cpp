@@ -6,6 +6,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace hacc::fmm {
 
 using tree::RcbTree;
@@ -14,6 +16,7 @@ using util::Vec3d;
 FmmEvaluator::FmmEvaluator(const RcbTree& tree, std::span<const Vec3d> pos,
                            std::span<const double> mass, util::ThreadPool& pool)
     : tree_(&tree), pool_(&pool) {
+  const obs::TraceSpan span("fmm.upward");
   const auto& nodes = tree.nodes();
   const auto& order = tree.order();
   multipoles_.resize(nodes.size());
@@ -193,6 +196,7 @@ struct MacWalker {
 }  // namespace
 
 InteractionLists FmmEvaluator::build_interactions(double theta, double r_cut) const {
+  const obs::TraceSpan span("fmm.interactions");
   InteractionLists lists;
   const std::size_t n_leaves = tree_->leaves().size();
   lists.far_offsets.assign(n_leaves + 1, 0);
@@ -217,6 +221,7 @@ FarFieldStats FmmEvaluator::evaluate_far(const InteractionLists& lists,
                                          const gravity::GravityArrays& arrays,
                                          const FarOptions& opt,
                                          xsycl::OpCounters* ops) const {
+  const obs::TraceSpan span("fmm.far");
   const auto& leaves = tree_->leaves();
   const auto& order = tree_->order();
   const double box = opt.box;

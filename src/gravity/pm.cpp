@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace hacc::gravity {
@@ -48,7 +49,16 @@ bool parse_pm_gradient(const std::string& name, PmGradient& out) {
 }
 
 PmSolver::PmSolver(const PmOptions& opt, util::ThreadPool& pool)
-    : opt_(opt), pool_(&pool), fft_(opt.grid_n, pool), depositor_(pool) {}
+    : opt_(opt), pool_(&pool), fft_(opt.grid_n, pool), depositor_(pool) {
+  auto& m = obs::MetricsRegistry::global();
+  m_solves_ = m.counter("pm.solves");
+  m_deposit_s_ = m.counter("pm.deposit_s");
+  m_forward_s_ = m.counter("pm.forward_s");
+  m_green_s_ = m.counter("pm.green_s");
+  m_inverse_s_ = m.counter("pm.inverse_s");
+  m_gradient_s_ = m.counter("pm.gradient_s");
+  m_interp_s_ = m.counter("pm.interp_s");
+}
 
 void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
                               std::span<const double> mass,
@@ -71,11 +81,17 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
     mass_grid_.fill(0.0);
   }
   depositor_.deposit(mass_grid_, pos, mass, box);
-  times_.deposit = util::wtime() - t0;
+  double t1 = util::wtime();
+  times_.deposit = t1 - t0;
+  // The t0/t1 readings already bracket each phase, so trace spans reuse
+  // them directly instead of layering RAII spans with their own clocks.
+  obs::Tracer::global().record("pm.deposit", t0, t1);
 
   t0 = util::wtime();
   fft_.forward_r2c(mass_grid_.data(), phi_k_);
-  times_.forward = util::wtime() - t0;
+  t1 = util::wtime();
+  times_.forward = t1 - t0;
+  obs::Tracer::global().record("pm.forward", t0, t1);
 
   // Green's function (and, on the spectral path, the three force spectra
   // a(k) = -i k phi(k)) on the half spectrum.  Differentiated components are
@@ -129,7 +145,9 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
       }
     }
   });
-  times_.green = util::wtime() - t0;
+  t1 = util::wtime();
+  times_.green = t1 - t0;
+  obs::Tracer::global().record("pm.green", t0, t1);
 
   t0 = util::wtime();
   if (potential_.n() != n) potential_ = mesh::GridD(n);
@@ -142,7 +160,9 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
     }
   }
   fft_.inverse_c2r(phi_k_, potential_.data());
-  times_.inverse = util::wtime() - t0;
+  t1 = util::wtime();
+  times_.inverse = t1 - t0;
+  obs::Tracer::global().record("pm.inverse", t0, t1);
 
   if (!spectral) {
     t0 = util::wtime();
@@ -151,7 +171,9 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
     } else {
       fd_gradient<6>();
     }
-    times_.gradient = util::wtime() - t0;
+    t1 = util::wtime();
+    times_.gradient = t1 - t0;
+    obs::Tracer::global().record("pm.gradient", t0, t1);
   }
 
   t0 = util::wtime();
@@ -162,7 +184,18 @@ void PmSolver::compute_forces(std::span<const util::Vec3d> pos,
           accel[i] = mesh::cic_interpolate3(force_[0], force_[1], force_[2], pos[i], box);
         }
       });
-  times_.interp = util::wtime() - t0;
+  t1 = util::wtime();
+  times_.interp = t1 - t0;
+  obs::Tracer::global().record("pm.interp", t0, t1);
+
+  auto& m = obs::MetricsRegistry::global();
+  m.inc(m_solves_);
+  m.inc(m_deposit_s_, times_.deposit);
+  m.inc(m_forward_s_, times_.forward);
+  m.inc(m_green_s_, times_.green);
+  m.inc(m_inverse_s_, times_.inverse);
+  m.inc(m_gradient_s_, times_.gradient);
+  m.inc(m_interp_s_, times_.interp);
 }
 
 // Centered finite-difference gradient of the real-space potential,

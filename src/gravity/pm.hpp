@@ -22,6 +22,7 @@
 #include "fft/fft.hpp"
 #include "gravity/poisson.hpp"
 #include "mesh/cic.hpp"
+#include "obs/metrics.hpp"
 #include "util/vec3.hpp"
 
 namespace hacc::gravity {
@@ -100,6 +101,18 @@ class PmSolver {
   fft::Fft3D fft_;
   mesh::CicDepositor depositor_;
   PmPhaseTimes times_;
+
+  // Handles into obs::MetricsRegistry::global(), interned once at
+  // construction: a solve count plus accumulated per-phase seconds.  The
+  // registry keeps registrations across reset(), so these stay valid for
+  // the solver's lifetime (docs/OBSERVABILITY.md).
+  obs::MetricsRegistry::Handle m_solves_;
+  obs::MetricsRegistry::Handle m_deposit_s_;
+  obs::MetricsRegistry::Handle m_forward_s_;
+  obs::MetricsRegistry::Handle m_green_s_;
+  obs::MetricsRegistry::Handle m_inverse_s_;
+  obs::MetricsRegistry::Handle m_gradient_s_;
+  obs::MetricsRegistry::Handle m_interp_s_;
 
   // Persistent workspace, sized on first use and reused across calls.
   mesh::GridD mass_grid_;

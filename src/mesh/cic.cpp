@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.hpp"
+
 namespace hacc::mesh {
 
 CicStencil cic_stencil(const util::Vec3d& pos, int n, double box) {
@@ -54,6 +56,7 @@ void CicDepositor::deposit(GridD& grid, std::span<const util::Vec3d> pos,
     cic_deposit(grid, pos, mass, box);
     return;
   }
+  const obs::TraceSpan deposit_span("mesh.cic_deposit");
 
   // Even number of single-row x-slabs (an odd grid folds its last row into
   // the preceding slab).  A particle bucketed in slab s touches rows s and
@@ -92,6 +95,8 @@ void CicDepositor::deposit(GridD& grid, std::span<const util::Vec3d> pos,
     const std::int64_t count = (n_slabs - parity + 1) / 2;
     // shared: grid (same-parity slabs touch disjoint stencil rows).
     pool_->parallel_for_chunks(count, 1, [&](std::int64_t b, std::int64_t e) {
+      // Per-chunk span: the scatter shows up on every worker lane it ran on.
+      const obs::TraceSpan chunk_span("mesh.cic_scatter");
       for (std::int64_t si = b; si < e; ++si) {
         const int s = static_cast<int>(2 * si) + parity;
         for (std::uint32_t u = offsets_[s]; u < offsets_[s + 1]; ++u) {

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hacc::obs {
+
+namespace {
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+// Compact numeric formatting for the JSON fragment: integral values print
+// as integers (counters mostly are), everything else round-trips at %.9g.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Handle MetricsRegistry::intern(const std::string& name,
+                                                MetricKind kind) {
+  util::MutexLock lock(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name != name) continue;
+    if (entries_[i].kind != kind) {
+      throw std::logic_error("MetricsRegistry: '" + name +
+                             "' already registered as " +
+                             kind_name(entries_[i].kind) + ", requested " +
+                             kind_name(kind));
+    }
+    return i;
+  }
+  Entry e;
+  e.name = name;
+  e.kind = kind;
+  if (kind == MetricKind::kHistogram) e.buckets.assign(kHistBuckets, 0);
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+MetricsRegistry::Handle MetricsRegistry::counter(const std::string& name) {
+  return intern(name, MetricKind::kCounter);
+}
+MetricsRegistry::Handle MetricsRegistry::gauge(const std::string& name) {
+  return intern(name, MetricKind::kGauge);
+}
+MetricsRegistry::Handle MetricsRegistry::histogram(const std::string& name) {
+  return intern(name, MetricKind::kHistogram);
+}
+
+void MetricsRegistry::inc(Handle h, double v) {
+  util::MutexLock lock(mu_);
+  if (h >= entries_.size() || entries_[h].kind != MetricKind::kCounter) {
+    throw std::logic_error("MetricsRegistry::inc: handle is not a counter");
+  }
+  entries_[h].value += v;
+}
+
+void MetricsRegistry::set(Handle h, double v) {
+  util::MutexLock lock(mu_);
+  if (h >= entries_.size() || entries_[h].kind != MetricKind::kGauge) {
+    throw std::logic_error("MetricsRegistry::set: handle is not a gauge");
+  }
+  entries_[h].value = v;
+}
+
+void MetricsRegistry::record(Handle h, double v) {
+  util::MutexLock lock(mu_);
+  if (h >= entries_.size() || entries_[h].kind != MetricKind::kHistogram) {
+    throw std::logic_error("MetricsRegistry::record: handle is not a histogram");
+  }
+  Entry& e = entries_[h];
+  int bucket = 0;
+  if (v > kHistMin) {
+    bucket = static_cast<int>(std::floor(std::log2(v / kHistMin)));
+    bucket = std::clamp(bucket, 0, kHistBuckets - 1);
+  }
+  ++e.buckets[static_cast<std::size_t>(bucket)];
+  if (e.count == 0) {
+    e.min = v;
+    e.max = v;
+  } else {
+    e.min = std::min(e.min, v);
+    e.max = std::max(e.max, v);
+  }
+  ++e.count;
+  e.sum += v;
+}
+
+double MetricsRegistry::percentile(const Entry& e, double q) {
+  if (e.count == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(e.count)));
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    cum += e.buckets[static_cast<std::size_t>(b)];
+    if (cum >= std::max<std::uint64_t>(target, 1)) {
+      // Geometric midpoint of the bucket, clamped to the observed range so
+      // single-bucket histograms report exact values.
+      const double lo = kHistMin * std::exp2(b);
+      const double mid = lo * std::sqrt(2.0);
+      return std::clamp(mid, e.min, e.max);
+    }
+  }
+  return e.max;
+}
+
+std::vector<MetricValue> MetricsRegistry::snapshot() const {
+  util::MutexLock lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricValue v;
+    v.name = e.name;
+    v.kind = e.kind;
+    v.value = e.value;
+    v.count = e.count;
+    v.sum = e.sum;
+    v.min = e.min;
+    v.max = e.max;
+    if (e.kind == MetricKind::kHistogram) {
+      v.p50 = percentile(e, 0.50);
+      v.p95 = percentile(e, 0.95);
+      v.p99 = percentile(e, 0.99);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const auto values = snapshot();
+  std::string out = "{";
+  bool first = true;
+  const auto emit = [&](const std::string& key, double v) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + format_number(v);
+  };
+  for (const auto& v : values) {
+    if (v.kind == MetricKind::kHistogram) {
+      emit(v.name + ".count", static_cast<double>(v.count));
+      emit(v.name + ".sum", v.sum);
+      emit(v.name + ".p50", v.p50);
+      emit(v.name + ".p95", v.p95);
+      emit(v.name + ".p99", v.p99);
+    } else {
+      emit(v.name, v.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  util::MutexLock lock(mu_);
+  for (auto& e : entries_) {
+    e.value = 0.0;
+    e.count = 0;
+    e.sum = 0.0;
+    e.min = 0.0;
+    e.max = 0.0;
+    std::fill(e.buckets.begin(), e.buckets.end(), 0);
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  util::MutexLock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hacc::obs

@@ -1,14 +1,19 @@
 // hacc_run: the scenario-driven simulation CLI.
 //
-//   hacc_run [--list] [--config <file>] [--restart <ckpt>] [key=value ...]
+//   hacc_run [--list] [--config <file>] [--restart <ckpt>]
+//            [--trace <out.json>] [key=value ...]
 //
 //   hacc_run scenario=paper-benchmark                 # the paper's benchmark
 //   hacc_run scenario=cosmology-box run.log=box.jsonl # adaptive + checkpoints
 //   hacc_run scenario=cosmology-box --restart cosmology-box.ckpt.step8
+//   hacc_run scenario=paper-benchmark --trace=trace.json  # Perfetto trace
 //
 // Keys are documented in docs/CONFIG.md; runs stream JSON-lines events to
-// run.log and print a human summary here.
+// run.log and print a human summary here.  --trace records thread-aware
+// spans for the whole run and exports Chrome trace_event JSON
+// (docs/OBSERVABILITY.md).
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +21,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "run/scenario.hpp"
 #include "util/config.hpp"
 #include "util/thread_pool.hpp"
@@ -25,9 +31,17 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: hacc_run [--list] [--config <file>] [--restart <ckpt>] "
-      "[key=value ...]\n"
+      "[--trace <out.json>] [key=value ...]\n"
       "       scenario=<name> selects a preset (see --list); every other\n"
       "       key=value overrides it.  Keys: docs/CONFIG.md.\n");
+}
+
+// ThreadPool worker-start hook: name each worker's trace lane before it
+// records its first span, so exports show "worker-N" instead of the
+// registration-order fallback.
+void name_worker_lane(unsigned index) {
+  hacc::obs::Tracer::global().set_thread_name("worker-" +
+                                              std::to_string(index));
 }
 
 void print_scenarios() {
@@ -41,7 +55,7 @@ void print_scenarios() {
 
 int main(int argc, char** argv) {
   hacc::util::Config cli;
-  std::string restart, config_file;
+  std::string restart, config_file, trace_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
@@ -59,6 +73,18 @@ int main(int argc, char** argv) {
         return 1;
       }
       (std::strcmp(arg, "--restart") == 0 ? restart : config_file) = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+      continue;
+    }
+    if (std::strcmp(arg, "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hacc_run: --trace needs a file argument\n");
+        return 1;
+      }
+      trace_path = argv[++i];
       continue;
     }
     if (std::strchr(arg, '=') == nullptr) {
@@ -111,6 +137,13 @@ int main(int argc, char** argv) {
   }
   n_threads = static_cast<unsigned>(
       cli.get_int("threads", static_cast<long>(n_threads)));
+  // Tracing must be armed BEFORE the pool exists: the worker-start hook
+  // names each worker's lane as its thread launches.
+  if (!trace_path.empty()) {
+    hacc::obs::Tracer::global().set_thread_name("main");
+    hacc::util::ThreadPool::set_worker_start_hook(&name_worker_lane);
+    hacc::obs::Tracer::global().enable();
+  }
   hacc::util::ThreadPool pool(n_threads);
   std::printf("hacc_run: scenario %s (%s)\n", scenario.name.c_str(),
               scenario.summary.c_str());
@@ -141,6 +174,17 @@ int main(int argc, char** argv) {
           out.slowest_kernel.c_str());
     }
     std::printf("event log: %s\n", scenario.run.log_path.c_str());
+    if (!trace_path.empty()) {
+      hacc::obs::Tracer::global().disable();
+      const auto stats =
+          hacc::obs::Tracer::global().write_chrome_trace(trace_path);
+      std::printf("trace: %s (%" PRIu64 " events on %d threads", trace_path.c_str(),
+                  stats.events, stats.threads);
+      if (stats.dropped > 0) {
+        std::printf(", %" PRIu64 " dropped", stats.dropped);
+      }
+      std::printf(")\n");
+    }
     if (result.hit_max_steps) {
       std::fprintf(stderr, "hacc_run: stopped at run.max_steps=%d before "
                    "reaching z_final\n", scenario.run.max_steps);

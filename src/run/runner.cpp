@@ -1,11 +1,15 @@
 #include "run/runner.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
+#include <filesystem>
 #include <stdexcept>
 
 #include "metrics/cascade.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace hacc::run {
@@ -40,6 +44,22 @@ ScenarioRunner::ScenarioRunner(const core::SimConfig& sim, const RunOptions& opt
     if (z >= 0.0) outputs_a_.push_back(ic::Cosmology::a_of_z(z));
   }
   std::sort(outputs_a_.begin(), outputs_a_.end());
+
+  auto& m = obs::MetricsRegistry::global();
+  m_tree_builds_ = m.counter("tree.builds");
+  m_tree_reuses_ = m.counter("tree.reuses");
+  m_tree_s_ = m.counter("tree.build_s");
+  m_step_wall_s_ = m.histogram("step.wall_s");
+  m_step_da_ = m.histogram("step.da");
+  m_ops_launches_ = m.counter("ops.launches");
+  m_ops_kernel_s_ = m.counter("ops.kernel_s");
+  m_ops_interactions_ = m.counter("ops.interactions");
+  m_ops_m2p_ = m.counter("ops.m2p");
+  m_ckpt_writes_ = m.counter("ckpt.writes");
+  m_ckpt_bytes_ = m.counter("ckpt.bytes");
+  m_ckpt_write_s_ = m.counter("ckpt.write_s");
+  m_run_outputs_ = m.counter("run.outputs");
+  m_stepctl_da_ = m.gauge("stepctl.da_next");
 }
 
 ScenarioRunner::~ScenarioRunner() {
@@ -55,14 +75,20 @@ void ScenarioRunner::open_log() {
   }
 }
 
-void ScenarioRunner::log_line(const std::string& json) {
+void ScenarioRunner::log_line(const std::string& json, bool durable) {
   if (log_ == nullptr) return;
   std::fputs(json.c_str(), log_);
   std::fputc('\n', log_);
   std::fflush(log_);
+  // Checkpoint-class events additionally reach the disk before we return:
+  // the JSONL tail must name every checkpoint file that exists, or a crash
+  // between the write and the next flush leaves a restartable file no
+  // recovery tooling knows about.
+  if (durable) fsync(fileno(log_));
 }
 
 void ScenarioRunner::start_from_checkpoint_or_ics() {
+  const obs::TraceSpan span("run.init");
   if (!opt_.restart_from.empty()) {
     core::ParticleSet dm, gas;
     core::RunCheckpointMeta meta;
@@ -80,7 +106,7 @@ void ScenarioRunner::start_from_checkpoint_or_ics() {
                     static_cast<int>(meta.step));
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "{\"event\":\"restart\",\"step\":%" PRIu64
+                  "{\"type\":\"restart\",\"step\":%" PRIu64
                   ",\"a\":%.17g,\"z\":%.6f,\"file\":\"%s\"}",
                   meta.step, meta.scale_factor,
                   ic::Cosmology::z_of_a(meta.scale_factor),
@@ -88,8 +114,8 @@ void ScenarioRunner::start_from_checkpoint_or_ics() {
     log_line(buf);
   } else {
     solver_.initialize();
-    log_line("{\"event\":\"init\",\"a\":" + std::to_string(solver_.scale_factor()) +
-             "}");
+    log_line("{\"type\":\"init\",\"step\":0,\"a\":" +
+             std::to_string(solver_.scale_factor()) + "}");
   }
   // Outputs the run already passed (restart) fire nothing.
   while (next_output_ < outputs_a_.size() &&
@@ -99,6 +125,8 @@ void ScenarioRunner::start_from_checkpoint_or_ics() {
 }
 
 void ScenarioRunner::write_checkpoint_file(int step) {
+  const obs::TraceSpan span("run.checkpoint");
+  const double t0 = util::wtime();
   const std::string path =
       opt_.checkpoint_path + ".step" + std::to_string(step);
   core::RunCheckpointMeta meta;
@@ -112,14 +140,28 @@ void ScenarioRunner::write_checkpoint_file(int step) {
   }
   ++result_.checkpoints_written;
   result_.checkpoint_files.push_back(path);
-  char buf[320];
+
+  const double write_s = util::wtime() - t0;
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  const double bytes = ec ? 0.0 : static_cast<double>(size);
+  auto& m = obs::MetricsRegistry::global();
+  m.inc(m_ckpt_writes_);
+  m.inc(m_ckpt_bytes_, bytes);
+  m.inc(m_ckpt_write_s_, write_s);
+
+  char buf[400];
   std::snprintf(buf, sizeof(buf),
-                "{\"event\":\"checkpoint\",\"step\":%d,\"a\":%.17g,\"file\":\"%s\"}",
-                step, meta.scale_factor, json_escape(path).c_str());
-  log_line(buf);
+                "{\"type\":\"checkpoint\",\"step\":%d,\"a\":%.17g,"
+                "\"file\":\"%s\",\"bytes\":%.0f,\"write_s\":%.6f}",
+                step, meta.scale_factor, json_escape(path).c_str(), bytes,
+                write_s);
+  log_line(buf, /*durable=*/true);
 }
 
 void ScenarioRunner::run_diagnostics(int step) {
+  const obs::TraceSpan span("run.diagnostics");
+  obs::MetricsRegistry::global().inc(m_run_outputs_);
   OutputRecord rec;
   rec.step = step;
   rec.a = solver_.scale_factor();
@@ -159,7 +201,7 @@ void ScenarioRunner::run_diagnostics(int step) {
   result_.outputs.push_back(rec);
   char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "{\"event\":\"output\",\"step\":%d,\"a\":%.17g,\"z\":%.6f,"
+                "{\"type\":\"output\",\"step\":%d,\"a\":%.17g,\"z\":%.6f,"
                 "\"n_halos\":%d,\"largest_halo\":%d,\"kernel_pp\":%.4f,"
                 "\"slowest_kernel\":\"%s\"}",
                 step, rec.a, rec.z, rec.n_halos, rec.largest_halo,
@@ -167,16 +209,46 @@ void ScenarioRunner::run_diagnostics(int step) {
   log_line(buf);
 }
 
+void ScenarioRunner::record_step_metrics(const core::StepStats& stats) {
+  auto& m = obs::MetricsRegistry::global();
+  m.inc(m_tree_builds_, stats.tree_builds);
+  m.inc(m_tree_reuses_, stats.tree_reuses);
+  m.inc(m_tree_s_, stats.tree_seconds);
+  m.record(m_step_wall_s_, stats.wall_seconds);
+  m.record(m_step_da_, stats.da);
+  m.set(m_stepctl_da_, stats.da);
+  // Kernel launches since the previous step, then clear so the queue history
+  // stays bounded over long runs (direct Solver users keep the full history;
+  // only runner-driven runs consume it here).
+  for (const auto& s : solver_.queue().history()) {
+    m.inc(m_ops_launches_);
+    m.inc(m_ops_kernel_s_, s.seconds);
+    m.inc(m_ops_interactions_, static_cast<double>(s.ops.interactions));
+  }
+  solver_.queue().clear_history();
+  // fmm_ops() accumulates across the solver's lifetime; record the delta.
+  const std::uint64_t m2p = solver_.fmm_ops().m2p_ops;
+  m.inc(m_ops_m2p_, static_cast<double>(m2p - last_m2p_));
+  last_m2p_ = m2p;
+}
+
 RunResult ScenarioRunner::run() {
   if (ran_) throw std::logic_error("ScenarioRunner::run() called twice");
   ran_ = true;
   const double t0 = util::wtime();
 
+  // One active run per process: the global registry accumulates from run
+  // start, so step events and the run_summary always describe THIS run.
+  // Registrations (and the handles cached above and in the solver's
+  // subsystems) survive the reset.
+  obs::MetricsRegistry::global().reset();
+  last_m2p_ = solver_.fmm_ops().m2p_ops;
+
   open_log();
   {
     char buf[320];
     std::snprintf(buf, sizeof(buf),
-                  "{\"event\":\"begin\",\"scenario\":\"%s\",\"np\":%d,"
+                  "{\"type\":\"begin\",\"step\":0,\"scenario\":\"%s\",\"np\":%d,"
                   "\"backend\":\"%s\",\"mode\":\"%s\",\"hydro\":%s,"
                   "\"restart\":%s}",
                   json_escape(sim_.scenario).c_str(), sim_.np_side,
@@ -203,7 +275,8 @@ RunResult ScenarioRunner::run() {
   while (!controller_.done(solver_.scale_factor(), solver_.steps_taken())) {
     if (result_.steps >= opt_.max_steps) {
       result_.hit_max_steps = true;
-      log_line("{\"event\":\"max_steps\",\"steps\":" +
+      log_line("{\"type\":\"max_steps\",\"step\":" +
+               std::to_string(solver_.steps_taken()) + ",\"steps\":" +
                std::to_string(result_.steps) + "}");
       break;
     }
@@ -219,18 +292,20 @@ RunResult ScenarioRunner::run() {
     max_acceleration = stats.max_acceleration;
     ++result_.steps;
     result_.history.push_back(stats);
+    record_step_metrics(stats);
     {
       char buf[512];
       std::snprintf(buf, sizeof(buf),
-                    "{\"event\":\"step\",\"step\":%d,\"a\":%.17g,\"z\":%.6f,"
+                    "{\"type\":\"step\",\"step\":%d,\"a\":%.17g,\"z\":%.6f,"
                     "\"da\":%.10g,\"wall_s\":%.6f,\"ke\":%.8e,\"u\":%.8e,"
                     "\"vmax\":%.6g,\"gmax\":%.6g,\"tree_builds\":%d,"
-                    "\"tree_reuses\":%d,\"tree_s\":%.6f}",
+                    "\"tree_reuses\":%d,\"tree_s\":%.6f,\"metrics\":",
                     stats.step, stats.a1, stats.z, stats.da, stats.wall_seconds,
                     stats.kinetic_energy, stats.thermal_energy,
                     stats.max_velocity, stats.max_acceleration,
                     stats.tree_builds, stats.tree_reuses, stats.tree_seconds);
-      log_line(buf);
+      log_line(std::string(buf) + obs::MetricsRegistry::global().to_json() +
+               "}");
     }
     if (opt_.echo_steps) {
       std::printf("  step %4d  z=%8.3f  da=%.3e  wall=%6.3fs  KE=%.4e\n",
@@ -259,15 +334,22 @@ RunResult ScenarioRunner::run() {
   result_.final_a = solver_.scale_factor();
   result_.final_z = solver_.redshift();
   result_.wall_seconds = util::wtime() - t0;
+  // The whole-run registry state, once, before the end marker: dashboards
+  // and tools/check_events.py read totals here instead of re-deriving them
+  // from the last step event.
+  log_line("{\"type\":\"run_summary\",\"step\":" +
+           std::to_string(result_.total_steps) + ",\"metrics\":" +
+           obs::MetricsRegistry::global().to_json() + "}");
   {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "{\"event\":\"end\",\"steps\":%d,\"total_steps\":%d,"
+                  "{\"type\":\"end\",\"step\":%d,\"steps\":%d,"
+                  "\"total_steps\":%d,"
                   "\"a\":%.17g,\"z\":%.6f,\"wall_s\":%.3f,\"checkpoints\":%d}",
-                  result_.steps, result_.total_steps, result_.final_a,
-                  result_.final_z, result_.wall_seconds,
+                  result_.total_steps, result_.steps, result_.total_steps,
+                  result_.final_a, result_.final_z, result_.wall_seconds,
                   result_.checkpoints_written);
-    log_line(buf);
+    log_line(buf, /*durable=*/true);
   }
   return result_;
 }

@@ -16,6 +16,7 @@
 #include "core/checkpoint.hpp"
 #include "core/solver.hpp"
 #include "halo/fof.hpp"
+#include "obs/metrics.hpp"
 #include "run/step_controller.hpp"
 
 namespace hacc::run {
@@ -94,10 +95,15 @@ class ScenarioRunner {
 
  private:
   void open_log();
-  void log_line(const std::string& json);
+  /// Appends one JSONL event.  Every line is flushed to the stream;
+  /// `durable` additionally fsyncs the file so checkpoint-class events (the
+  /// ones a restart recovery depends on) survive a crash of the process
+  /// right after the write.
+  void log_line(const std::string& json, bool durable = false);
   void start_from_checkpoint_or_ics();
   void write_checkpoint_file(int step);
   void run_diagnostics(int step);
+  void record_step_metrics(const core::StepStats& stats);
 
   core::SimConfig sim_;
   RunOptions opt_;
@@ -109,6 +115,27 @@ class ScenarioRunner {
   int last_checkpoint_step_ = -1;
   RunResult result_;
   bool ran_ = false;
+
+  // Handles into obs::MetricsRegistry::global(), interned at construction
+  // (registrations survive the registry reset run() performs).  The runner
+  // absorbs per-step stats, kernel-launch op counters, checkpoint costs, and
+  // step-controller decisions; the registry snapshot rides in every step
+  // event and in the run_summary event (docs/OBSERVABILITY.md).
+  obs::MetricsRegistry::Handle m_tree_builds_;
+  obs::MetricsRegistry::Handle m_tree_reuses_;
+  obs::MetricsRegistry::Handle m_tree_s_;
+  obs::MetricsRegistry::Handle m_step_wall_s_;  // histogram
+  obs::MetricsRegistry::Handle m_step_da_;      // histogram
+  obs::MetricsRegistry::Handle m_ops_launches_;
+  obs::MetricsRegistry::Handle m_ops_kernel_s_;
+  obs::MetricsRegistry::Handle m_ops_interactions_;
+  obs::MetricsRegistry::Handle m_ops_m2p_;
+  obs::MetricsRegistry::Handle m_ckpt_writes_;
+  obs::MetricsRegistry::Handle m_ckpt_bytes_;
+  obs::MetricsRegistry::Handle m_ckpt_write_s_;
+  obs::MetricsRegistry::Handle m_run_outputs_;
+  obs::MetricsRegistry::Handle m_stepctl_da_;  // gauge: last Δa decision
+  std::uint64_t last_m2p_ = 0;  // fmm_ops() is cumulative; we record deltas
 };
 
 }  // namespace hacc::run

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
@@ -9,13 +10,26 @@
 
 namespace hacc::util {
 
+namespace {
+
+// Worker-start announcement hook (see set_worker_start_hook).  A plain
+// atomic function pointer: read once per worker start, no static-destruction
+// ordering hazards.
+std::atomic<void (*)(unsigned)> g_worker_start_hook{nullptr};
+
+}  // namespace
+
+void ThreadPool::set_worker_start_hook(void (*hook)(unsigned)) {
+  g_worker_start_hook.store(hook, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(unsigned n_threads) {
   if (n_threads == 0) {
     n_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(n_threads);
   for (unsigned i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -28,7 +42,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_index) {
+  if (auto* hook = g_worker_start_hook.load(std::memory_order_acquire)) {
+    hook(worker_index);
+  }
   std::uint64_t seen_seq = 0;
   for (;;) {
     Job* job = nullptr;

@@ -59,6 +59,14 @@ class ThreadPool {
   // not a machine.
   static constexpr long kMaxThreads = 4096;
 
+  // Observability hook: invoked once on every newly started worker thread
+  // (on that thread, with its index within the pool) before it processes
+  // jobs.  The tracing layer installs this so worker lanes carry stable
+  // "worker-N" names in trace exports (docs/OBSERVABILITY.md).  Install
+  // before constructing the pool whose workers should be announced; pools
+  // already running keep the hook state they started with.  nullptr clears.
+  static void set_worker_start_hook(void (*hook)(unsigned worker_index));
+
  private:
   struct Job {
     // Immutable after publication (written before job_ is set under mu_,
@@ -75,7 +83,7 @@ class ThreadPool {
     int active = 0;              // threads currently inside run_chunks
   };
 
-  void worker_loop();
+  void worker_loop(unsigned worker_index);
   void run_chunks(Job& job);
 
   std::vector<std::thread> workers_;

@@ -1,17 +1,38 @@
 #include "util/timer.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace hacc::util {
 
-void TimerRegistry::add(const std::string& name, double dt) {
+TimerRegistry::Handle TimerRegistry::handle(const std::string& name) {
   MutexLock lock(mu_);
-  auto& e = timers_[name];
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  slots_.emplace_back(name, Entry{});
+  const Handle h = slots_.size() - 1;
+  index_.emplace(name, h);
+  return h;
+}
+
+void TimerRegistry::add(Handle h, double dt) {
+  MutexLock lock(mu_);
+  if (h >= slots_.size()) {
+    throw std::logic_error("TimerRegistry::add: unknown timer handle");
+  }
+  Entry& e = slots_[h].second;
   e.seconds += dt;
   e.calls += 1;
 }
 
+void TimerRegistry::add(const std::string& name, double dt) {
+  add(handle(name), dt);
+}
+
 TimerRegistry::Entry TimerRegistry::get(const std::string& name) const {
   MutexLock lock(mu_);
-  if (auto it = timers_.find(name); it != timers_.end()) return it->second;
+  if (auto it = index_.find(name); it != index_.end()) {
+    return slots_[it->second].second;
+  }
   return {};
 }
 
@@ -23,12 +44,19 @@ double TimerRegistry::total(const std::vector<std::string>& names) const {
 
 std::vector<std::pair<std::string, TimerRegistry::Entry>> TimerRegistry::entries() const {
   MutexLock lock(mu_);
-  return {timers_.begin(), timers_.end()};
+  std::vector<std::pair<std::string, Entry>> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    if (slot.second.calls > 0) out.push_back(slot);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void TimerRegistry::reset() {
   MutexLock lock(mu_);
-  timers_.clear();
+  for (auto& slot : slots_) slot.second = Entry{};
 }
 
 double wtime() {

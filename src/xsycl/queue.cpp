@@ -4,6 +4,8 @@
 #include <map>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace hacc::xsycl {
 
 LaunchStats Queue::submit_impl(const KernelFn& fn, const std::string& name,
@@ -20,12 +22,22 @@ LaunchStats Queue::submit_impl(const KernelFn& fn, const std::string& name,
   OpCounters total;
   util::Mutex merge_mu;
 
+  // Per-chunk trace spans make each kernel launch visible on every worker
+  // lane it ran on.  The dynamic span name ("xsycl." + kernel) is interned
+  // once per launch, only while tracing is on; chunks then record through
+  // the stable pointer lock-free.
+  const char* span_name =
+      obs::Tracer::global().enabled()
+          ? obs::Tracer::global().intern("xsycl." + name)
+          : nullptr;
+
   const double t0 = util::wtime();
   // shared: total (kernel-wide OpCounters, merged under merge_mu); each
   // chunk otherwise works on its own local_counters and arena slice.
   pool_->parallel_for_chunks(
       static_cast<std::int64_t>(n_wg), /*chunk=*/4,
       [&](std::int64_t wg_begin, std::int64_t wg_end) {
+        const obs::TraceSpan chunk_span(span_name);
         // One local arena + counter block per worker chunk; arenas are
         // per-work-group on hardware, and sub-groups get disjoint slices.
         OpCounters local_counters;

@@ -152,9 +152,9 @@ TEST_F(RunnerTest, AdaptiveCosmologyBoxRunsEndToEndAndRestartsIdentically) {
   int step_events = 0, begin_events = 0, end_events = 0;
   std::string line;
   while (std::getline(log, line)) {
-    step_events += line.find("\"event\":\"step\"") != std::string::npos;
-    begin_events += line.find("\"event\":\"begin\"") != std::string::npos;
-    end_events += line.find("\"event\":\"end\"") != std::string::npos;
+    step_events += line.find("\"type\":\"step\"") != std::string::npos;
+    begin_events += line.find("\"type\":\"begin\"") != std::string::npos;
+    end_events += line.find("\"type\":\"end\"") != std::string::npos;
   }
   EXPECT_EQ(step_events, full_result.steps);
   EXPECT_EQ(begin_events, 1);

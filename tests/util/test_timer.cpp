@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 
 #include "util/thread_pool.hpp"
@@ -49,6 +50,53 @@ TEST(TimerRegistry, ResetClearsEverything) {
   reg.add("x", 1.0);
   reg.reset();
   EXPECT_TRUE(reg.entries().empty());
+}
+
+TEST(TimerRegistry, HandleInternsOnceAndAccumulates) {
+  TimerRegistry reg;
+  const auto h = reg.handle("grav_pm");
+  EXPECT_EQ(reg.handle("grav_pm"), h);  // same name -> same handle
+  reg.add(h, 0.5);
+  reg.add("grav_pm", 0.25);  // name and handle hit the same accumulator
+  const auto e = reg.get("grav_pm");
+  EXPECT_DOUBLE_EQ(e.seconds, 0.75);
+  EXPECT_EQ(e.calls, 2u);
+}
+
+TEST(TimerRegistry, HandleSurvivesReset) {
+  TimerRegistry reg;
+  const auto h = reg.handle("tree_build");
+  reg.add(h, 1.0);
+  reg.reset();
+  EXPECT_TRUE(reg.entries().empty());  // zeroed entries are invisible
+  reg.add(h, 2.0);  // the pre-reset handle still lands
+  EXPECT_DOUBLE_EQ(reg.get("tree_build").seconds, 2.0);
+  EXPECT_EQ(reg.get("tree_build").calls, 1u);
+}
+
+TEST(TimerRegistry, InternedButNeverRecordedIsInvisible) {
+  TimerRegistry reg;
+  (void)reg.handle("registered_only");
+  EXPECT_TRUE(reg.entries().empty());
+  EXPECT_EQ(reg.get("registered_only").calls, 0u);
+}
+
+TEST(TimerRegistry, UnknownHandleThrows) {
+  TimerRegistry reg;
+  EXPECT_THROW(reg.add(static_cast<TimerRegistry::Handle>(42), 1.0),
+               std::logic_error);
+}
+
+TEST(ScopedTimer, HandleConstructorRecords) {
+  TimerRegistry reg;
+  const auto h = reg.handle("op");
+  {
+    ScopedTimer t(reg, h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto e = reg.get("op");
+  EXPECT_EQ(e.calls, 1u);
+  EXPECT_GE(e.seconds, 0.004);
 }
 
 TEST(ScopedTimer, BracketsAnOperation) {

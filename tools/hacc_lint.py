@@ -21,6 +21,11 @@ the determinism and concurrency conventions documented in docs/CONCURRENCY.md:
   nolint-justified Every NOLINT marker must name the suppressed check(s) and
                    carry a `: <reason>` justification.  Bare NOLINT is an
                    error.
+  span-name        Every string literal handed to obs::TraceSpan or to
+                   Tracer::record()/intern() must follow the `module.phase`
+                   naming convention from docs/OBSERVABILITY.md
+                   (lowercase, dotted, e.g. `pm.deposit`, `core.step`), so
+                   traces group cleanly by subsystem.
   allowlist        Every allowlist entry must carry a justification, and must
                    match at least one current finding (stale entries are
                    errors, so suppressions cannot outlive their cause).
@@ -81,6 +86,20 @@ NOLINT_ACTIVE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(?:\(|\s*$|\s*\*/)")
 
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+# Literal span names: `TraceSpan("...")` constructions, plus literals handed
+# straight to a Tracer's record()/intern() on the same line.  Dynamic names
+# (strings built at runtime, e.g. the queue's "xsycl." + kernel) are out of
+# reach of a text lint and are covered by convention in docs/OBSERVABILITY.md.
+SPAN_LITERAL_PATTERNS = [
+    re.compile(r"\bTraceSpan\s*\w*\s*\(\s*\"([^\"]*)\""),
+    re.compile(r"\b[Tt]racer\w*\b[^;\"]*\b(?:record|intern)\s*\(\s*\"([^\"]*)\""),
+]
+# `module.phase`: lowercase module segment, then at least one phase segment;
+# further dots allow sub-phases (`fft.r2c_z`).  Phase segments keep their own
+# capitalization so dynamic kernel names (`xsycl.upBarAcF`) fit the same
+# convention checked by tools/check_events.py on exported traces.
+SPAN_NAME = re.compile(r"^[a-z][a-z0-9_]*\.[A-Za-z0-9_]+(?:\.[A-Za-z0-9_]+)*$")
 
 
 class Finding:
@@ -183,6 +202,26 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
                     rel, lineno, "nolint-justified",
                     "NOLINT must name the suppressed check(s) and give a "
                     "reason: `NOLINT(check-name): why`"))
+
+    # Span names live inside string literals, which the stripped view blanks
+    # out, so this rule scans raw lines and skips matches behind a `//`.
+    for lineno, raw in enumerate(lines, start=1):
+        for pattern in SPAN_LITERAL_PATTERNS:
+            for m in pattern.finditer(raw):
+                if "//" in raw[:m.start()]:
+                    continue
+                # A literal followed by `+` is a prefix for a runtime-built
+                # name (e.g. intern("xsycl." + kernel)); convention covers
+                # the full name, not the fragment.
+                if raw[m.end():].lstrip().startswith("+"):
+                    continue
+                name = m.group(1)
+                if not SPAN_NAME.match(name):
+                    findings.append(Finding(
+                        rel, lineno, "span-name",
+                        f'span name "{name}" must follow the `module.phase` '
+                        f"convention (lowercase dotted, e.g. pm.deposit; "
+                        f"docs/OBSERVABILITY.md)"))
 
     if path.suffix in HEADER_SUFFIXES:
         if not any(PRAGMA_ONCE.match(line) for line in lines[:5]):

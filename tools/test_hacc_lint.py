@@ -126,6 +126,49 @@ class NolintRule(unittest.TestCase):
             lint_source("a.cpp", "// NOLINT below: justified at the call.\n"), [])
 
 
+class SpanNameRule(unittest.TestCase):
+    def test_dotted_span_name_clean(self):
+        self.assertEqual(
+            lint_source("a.cpp", 'const obs::TraceSpan span("pm.deposit");\n'), [])
+
+    def test_subphase_span_name_clean(self):
+        self.assertEqual(
+            lint_source("a.cpp", 'const obs::TraceSpan span("fft.r2c_z");\n'), [])
+
+    def test_undotted_span_name_flagged(self):
+        self.assertIn("span-name",
+                      lint_source("a.cpp", 'obs::TraceSpan span("deposit");\n'))
+
+    def test_uppercase_span_name_flagged(self):
+        self.assertIn("span-name",
+                      lint_source("a.cpp", 'obs::TraceSpan span("PM.Deposit");\n'))
+
+    def test_tracer_record_literal_checked(self):
+        src = 'obs::Tracer::global().record("bad name", t0, t1);\n'
+        self.assertIn("span-name", lint_source("a.cpp", src))
+
+    def test_tracer_record_good_literal_clean(self):
+        src = 'obs::Tracer::global().record("pm.forward", t0, t1);\n'
+        self.assertEqual(lint_source("a.cpp", src), [])
+
+    def test_tracer_intern_literal_checked(self):
+        self.assertIn("span-name",
+                      lint_source("a.cpp", 'tracer.intern("Kernel");\n'))
+
+    def test_dynamic_name_not_flagged(self):
+        # Runtime-built names are out of a text lint's reach by design.
+        src = 'tracer.intern("xsycl." + kernel_name);\n'
+        self.assertEqual(lint_source("a.cpp", src), [])
+
+    def test_commented_span_ignored(self):
+        self.assertEqual(
+            lint_source("a.cpp", '// e.g. obs::TraceSpan span("Bad Name");\n'), [])
+
+    def test_null_span_not_flagged(self):
+        self.assertEqual(
+            lint_source("a.cpp", "const obs::TraceSpan span(nullptr);\n"), [])
+
+
 class HeaderHygieneRule(unittest.TestCase):
     def test_missing_pragma_once_flagged(self):
         self.assertIn("header-hygiene", lint_source("a.hpp", "int f();\n"))
