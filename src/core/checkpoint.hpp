@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file
-/// Binary particle checkpoints.  Two formats share one magic number:
+/// Crash-consistent binary particle checkpoints.  Two formats share one
+/// magic number:
 ///
 /// - **v1** (`write_checkpoint`/`read_checkpoint`): one ParticleSet plus box
 ///   and scale factor.  Besides restart support, these drive the
@@ -13,8 +14,18 @@
 ///   a config signature so a resume against a different configuration is
 ///   rejected loudly instead of silently diverging.
 ///
+/// Both formats are written crash-consistently through the io fault layer:
+/// the bytes stream into `<path>.tmp`, the file is fsynced, atomically
+/// renamed into place, and the directory fsynced — a crash at any point
+/// leaves either the complete new file or no file at `<path>`, never a torn
+/// one.  Every file ends in a CheckpointTrailer carrying a CRC-32 per
+/// section (header, dm payload, gas payload) plus a CRC of the trailer
+/// itself, so readers can name exactly which section a corruption hit.
+///
 /// All readers bound the header's particle counts against the actual file
-/// size before allocating, so corrupt or truncated files fail cleanly.
+/// size before allocating, so corrupt or truncated files fail cleanly; all
+/// entry points return a typed CkptResult naming the failing section and
+/// byte offsets instead of a bare bool.
 
 #include <cstdint>
 #include <string>
@@ -32,13 +43,73 @@ struct CheckpointHeader {
   double scale_factor = 0.0;
 };
 
-/// Writes the full hydro state of `p`; returns false on I/O failure.
-bool write_checkpoint(const std::string& path, const ParticleSet& p, double box,
-                      double scale_factor);
+/// On-disk trailer closing every checkpoint file (v1 and v2): one CRC-32
+/// per section, then a CRC of the trailer itself so a torn trailer is
+/// detected before any of its claims are trusted.  v1 files carry their
+/// single payload CRC in `dm_crc` and zero in `gas_crc`.
+struct CheckpointTrailer {
+  std::uint64_t magic = 0x4352'4b54'524c'5221ull;  ///< "CRKTRLR!"-ish tag
+  std::uint32_t header_crc = 0;   ///< CRC-32 of the header bytes
+  std::uint32_t dm_crc = 0;       ///< CRC-32 of the dm (v1: only) payload
+  std::uint32_t gas_crc = 0;      ///< CRC-32 of the gas payload (v1: 0)
+  std::uint32_t self_crc = 0;     ///< CRC-32 of the preceding trailer bytes
+};
+static_assert(sizeof(CheckpointTrailer) == 3 * sizeof(std::uint64_t));
 
-/// Reads a v1 checkpoint; returns false on I/O failure or format mismatch.
-bool read_checkpoint(const std::string& path, ParticleSet& p, double& box,
-                     double& scale_factor);
+/// Failure classes a checkpoint operation can report.
+enum class CkptStatus {
+  kOk,            ///< success
+  kOpenFailed,    ///< cannot open/create the file (or its .tmp)
+  kWriteFailed,   ///< a write syscall failed mid-stream
+  kSyncFailed,    ///< fsync of the file or its directory failed
+  kRenameFailed,  ///< the atomic tmp -> final rename failed
+  kTooSmall,      ///< file shorter than header + trailer
+  kBadMagic,      ///< header magic mismatch (not a checkpoint)
+  kBadVersion,    ///< recognized magic, unsupported version
+  kSizeMismatch,  ///< file size inconsistent with the header's counts
+  kCrcMismatch,   ///< a section's CRC-32 does not match the trailer
+  kReadFailed,    ///< a read syscall failed mid-stream
+};
+
+/// Which on-disk region a failure was pinned to.
+enum class CkptSection {
+  kNone,       ///< not section-specific (open/rename/size errors)
+  kHeader,     ///< the fixed-size header struct
+  kPayload,    ///< the single v1 payload
+  kDmPayload,  ///< the v2 dark-matter payload
+  kGasPayload, ///< the v2 gas payload
+  kTrailer,    ///< the CRC trailer
+};
+
+/// Short stable identifier ("crc_mismatch", "size_mismatch", ...) used in
+/// JSONL events and log lines.
+const char* to_string(CkptStatus status);
+/// Section identifier ("header", "dm_payload", ...).
+const char* to_string(CkptSection section);
+
+/// Typed outcome of a checkpoint read/write/validate.  `detail` carries the
+/// diagnosable context: which section, expected vs. actual sizes or CRCs,
+/// and byte offsets into the file.
+struct CkptResult {
+  CkptStatus status = CkptStatus::kOk;
+  CkptSection section = CkptSection::kNone;
+  std::string detail;
+
+  bool ok() const { return status == CkptStatus::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  /// "ok" or "<status>(<section>): <detail>" — the event/log form.
+  std::string message() const;
+};
+
+/// Writes the full hydro state of `p` crash-consistently (tmp + fsync +
+/// rename + dir fsync, CRC trailer).
+CkptResult write_checkpoint(const std::string& path, const ParticleSet& p,
+                            double box, double scale_factor);
+
+/// Reads a v1 checkpoint, verifying every section CRC.
+CkptResult read_checkpoint(const std::string& path, ParticleSet& p,
+                           double& box, double& scale_factor);
 
 /// Run metadata carried by a v2 restart checkpoint alongside the two
 /// particle species.
@@ -49,16 +120,24 @@ struct RunCheckpointMeta {
   std::uint64_t config_hash = 0;  ///< config_signature() of the writing run
 };
 
-/// Writes a v2 restart checkpoint (dark matter + baryons + run metadata);
-/// returns false on I/O failure.
-bool write_run_checkpoint(const std::string& path, const ParticleSet& dm,
-                          const ParticleSet& gas, const RunCheckpointMeta& meta);
+/// Writes a v2 restart checkpoint (dark matter + baryons + run metadata)
+/// crash-consistently; see write_checkpoint for the protocol.
+CkptResult write_run_checkpoint(const std::string& path, const ParticleSet& dm,
+                                const ParticleSet& gas,
+                                const RunCheckpointMeta& meta);
 
-/// Reads a v2 restart checkpoint; returns false on I/O failure or format
-/// mismatch (wrong magic/version, payload size inconsistent with the header
-/// counts).  Config-hash validation is the caller's job — compare
-/// `meta.config_hash` against config_signature() of the resuming run.
-bool read_run_checkpoint(const std::string& path, ParticleSet& dm,
-                         ParticleSet& gas, RunCheckpointMeta& meta);
+/// Reads a v2 restart checkpoint, verifying every section CRC.
+/// Config-hash validation is the caller's job — compare `meta.config_hash`
+/// against config_signature() of the resuming run.
+CkptResult read_run_checkpoint(const std::string& path, ParticleSet& dm,
+                               ParticleSet& gas, RunCheckpointMeta& meta);
+
+/// Full integrity scan of a v2 checkpoint without materializing the
+/// particle state: structure, sizes, and every section CRC are verified by
+/// streaming the file once.  On success `meta` (when non-null) is filled so
+/// the caller can check the config signature and step.  This is what
+/// `--restart auto` runs over every candidate before trusting one.
+CkptResult validate_run_checkpoint(const std::string& path,
+                                   RunCheckpointMeta* meta = nullptr);
 
 }  // namespace hacc::core

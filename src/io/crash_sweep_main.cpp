@@ -1,0 +1,310 @@
+// Crash-injection sweep over the checkpoint write protocol.
+//
+// For every syscall boundary and every byte of the header and trailer (plus
+// a stride through the payload), this harness kills a v2 checkpoint write at
+// that point — under both legal post-crash filesystem outcomes (torn prefix
+// kept, resp. un-fsynced state lost) — and asserts:
+//
+//   1. the previously committed checkpoint still validates (the retention
+//      invariant: once one checkpoint is committed, no later write may leave
+//      zero valid checkpoints);
+//   2. the interrupted file either validates completely or is *detected* as
+//      corrupt by validate_run_checkpoint — never silently mis-read;
+//   3. the best surviving candidate reads back bit-identical to the state
+//      that produced it.
+//
+// It also sweeps plain syscall *failures* (no crash): the writer must report
+// a typed error and leave the committed checkpoint untouched.
+//
+// Output: a JSON summary (argv[1], default CRASH_SWEEP.json) with the sweep
+// size and any violations; exit status 0 iff none.  Built without
+// HACC_FAULT_INJECTION the harness reports "skipped" and exits 0.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/particles.hpp"
+#include "io/fault_fs.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using hacc::core::CkptResult;
+using hacc::core::ParticleSet;
+using hacc::core::RunCheckpointMeta;
+using hacc::io::FaultInjector;
+
+// Deterministic field fill (splitmix-style) so bit-identity is meaningful.
+void seed_particles(ParticleSet& p, std::size_t n, std::uint64_t salt) {
+  p.resize(n);
+  std::uint64_t s = salt;
+  auto next = [&s]() {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<float>((z >> 40) % 100000) / 100.0f + 0.001f;
+  };
+  for (auto* v : {&p.x, &p.y, &p.z, &p.vx, &p.vy, &p.vz, &p.mass, &p.h, &p.V,
+                  &p.rho, &p.u, &p.P, &p.cs, &p.crk, &p.m0, &p.ax, &p.ay,
+                  &p.az, &p.du, &p.vsig, &p.dvel}) {
+    for (auto& x : *v) x = next();
+  }
+}
+
+// Bitwise equality over the checkpointed fields (moments are scratch and
+// not serialized).
+bool sets_equal(const ParticleSet& a, const ParticleSet& b) {
+  auto eq = [](const std::vector<float>& u, const std::vector<float>& v) {
+    return u.size() == v.size() &&
+           (u.empty() ||
+            std::memcmp(u.data(), v.data(), u.size() * sizeof(float)) == 0);
+  };
+  return eq(a.x, b.x) && eq(a.y, b.y) && eq(a.z, b.z) && eq(a.vx, b.vx) &&
+         eq(a.vy, b.vy) && eq(a.vz, b.vz) && eq(a.mass, b.mass) &&
+         eq(a.h, b.h) && eq(a.V, b.V) && eq(a.rho, b.rho) && eq(a.u, b.u) &&
+         eq(a.P, b.P) && eq(a.cs, b.cs) && eq(a.crk, b.crk) &&
+         eq(a.m0, b.m0) && eq(a.ax, b.ax) && eq(a.ay, b.ay) &&
+         eq(a.az, b.az) && eq(a.du, b.du) && eq(a.vsig, b.vsig) &&
+         eq(a.dvel, b.dvel);
+}
+
+struct Sweep {
+  fs::path dir;
+  ParticleSet dm1, gas1, dm2, gas2;  // step-1 state and step-2 state
+  RunCheckpointMeta meta1, meta2;
+  std::uint64_t ops_per_write = 0;
+  std::uint64_t bytes_per_write = 0;
+  std::uint64_t points = 0;
+  std::vector<std::string> violations;
+
+  std::string ckpt(int step) const {
+    return (dir / ("run.ckpt.step" + std::to_string(step))).string();
+  }
+
+  void violation(const std::string& point, const std::string& what) {
+    violations.push_back(point + ": " + what);
+    std::fprintf(stderr, "VIOLATION %s: %s\n", point.c_str(), what.c_str());
+  }
+
+  // Resets the directory to "step 1 committed, step 2 not yet written".
+  bool reset() {
+    std::error_code ec;
+    fs::remove(ckpt(2), ec);
+    fs::remove(ckpt(2) + ".tmp", ec);
+    if (const CkptResult r = hacc::core::validate_run_checkpoint(ckpt(1));
+        !r.ok()) {
+      // The committed checkpoint must never be damaged; rewrite it so the
+      // sweep can continue past a violating point.
+      const CkptResult w =
+          hacc::core::write_run_checkpoint(ckpt(1), dm1, gas1, meta1);
+      return w.ok();
+    }
+    return true;
+  }
+
+  // One sweep point: arm `plan`, attempt the step-2 write, then check the
+  // three invariants.  `expect_crash` distinguishes crash points from plain
+  // failure injection.
+  void run_point(const std::string& point, const FaultInjector::Plan& plan,
+                 bool expect_crash) {
+    ++points;
+    if (!reset()) {
+      violation(point, "could not restore the committed checkpoint");
+      return;
+    }
+    FaultInjector::global().arm(plan);
+    bool crashed = false;
+    CkptResult wr;
+    try {
+      wr = hacc::core::write_run_checkpoint(ckpt(2), dm2, gas2, meta2);
+    } catch (const hacc::io::InjectedCrash&) {
+      crashed = true;
+    }
+    FaultInjector::global().disarm();
+
+    if (!expect_crash && crashed) {
+      violation(point, "crash injected where only a failure was planned");
+      return;
+    }
+    if (!expect_crash && plan.fail_at_op != 0 &&
+        plan.fail_at_op <= ops_per_write && wr.ok()) {
+      violation(point, "injected syscall failure was swallowed: writer "
+                       "reported success");
+      return;
+    }
+
+    // Invariant 1: the committed checkpoint survives every point.
+    if (const CkptResult r = hacc::core::validate_run_checkpoint(ckpt(1));
+        !r.ok()) {
+      violation(point, "committed checkpoint damaged: " + r.message());
+    }
+
+    // Invariant 2+3: detect-or-recover, and the survivor is bit-identical.
+    RunCheckpointMeta meta;
+    const CkptResult v2 = hacc::core::validate_run_checkpoint(ckpt(2), &meta);
+    const bool step2_exists = fs::exists(ckpt(2));
+    if (step2_exists && !v2.ok() && v2.status == hacc::core::CkptStatus::kOk) {
+      violation(point, "validator returned ok-status failure");  // unreachable
+    }
+    if (!crashed && wr.ok() && !v2.ok()) {
+      violation(point, "write reported success but file fails validation: " +
+                           v2.message());
+    }
+
+    ParticleSet dm, gas;
+    if (v2.ok()) {
+      if (const CkptResult r =
+              hacc::core::read_run_checkpoint(ckpt(2), dm, gas, meta);
+          !r.ok()) {
+        violation(point, "validated file failed to read: " + r.message());
+      } else if (!sets_equal(dm, dm2) || !sets_equal(gas, gas2) ||
+                 meta.step != meta2.step) {
+        violation(point, "recovered step-2 state is not bit-identical");
+      }
+    } else {
+      if (const CkptResult r =
+              hacc::core::read_run_checkpoint(ckpt(1), dm, gas, meta);
+          !r.ok()) {
+        violation(point, "fallback checkpoint failed to read: " + r.message());
+      } else if (!sets_equal(dm, dm1) || !sets_equal(gas, gas1) ||
+                 meta.step != meta1.step) {
+        violation(point, "recovered step-1 state is not bit-identical");
+      }
+    }
+  }
+};
+
+std::string point_name(const char* kind, std::uint64_t at, bool lose) {
+  return std::string(kind) + "=" + std::to_string(at) +
+         (lose ? "/lose_unsynced" : "/keep_written");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "CRASH_SWEEP.json";
+  auto write_summary = [&](bool skipped, const Sweep* s) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) return;
+    if (skipped) {
+      std::fprintf(f, "{\"skipped\": true, \"reason\": "
+                      "\"built without HACC_FAULT_INJECTION\"}\n");
+    } else {
+      std::fprintf(f,
+                   "{\"skipped\": false, \"ops_per_write\": %llu, "
+                   "\"bytes_per_write\": %llu, \"points\": %llu, "
+                   "\"violations\": [",
+                   static_cast<unsigned long long>(s->ops_per_write),
+                   static_cast<unsigned long long>(s->bytes_per_write),
+                   static_cast<unsigned long long>(s->points));
+      for (std::size_t i = 0; i < s->violations.size(); ++i) {
+        std::fprintf(f, "%s\"%s\"", i != 0u ? ", " : "",
+                     s->violations[i].c_str());
+      }
+      std::fprintf(f, "]}\n");
+    }
+    std::fclose(f);
+  };
+
+  if (!hacc::io::fault_injection_compiled()) {
+    std::printf("crash sweep skipped: built without HACC_FAULT_INJECTION\n");
+    write_summary(true, nullptr);
+    return 0;
+  }
+
+  Sweep s;
+  s.dir = fs::temp_directory_path() /
+          ("hacc_crash_sweep." + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(s.dir, ec);
+  fs::create_directories(s.dir);
+
+  seed_particles(s.dm1, 32, 0x11);
+  seed_particles(s.gas1, 16, 0x22);
+  seed_particles(s.dm2, 32, 0x33);
+  seed_particles(s.gas2, 16, 0x44);
+  s.meta1 = {64.0, 0.5, 1, 0xabcdef01u};
+  s.meta2 = {64.0, 0.6, 2, 0xabcdef01u};
+
+  // Commit step 1 uninterrupted, then measure the step-2 write.
+  if (const CkptResult r =
+          hacc::core::write_run_checkpoint(s.ckpt(1), s.dm1, s.gas1, s.meta1);
+      !r.ok()) {
+    std::fprintf(stderr, "cannot write the baseline checkpoint: %s\n",
+                 r.message().c_str());
+    return 2;
+  }
+  FaultInjector::global().arm({});  // measuring pass: no injection
+  const CkptResult measured =
+      hacc::core::write_run_checkpoint(s.ckpt(2), s.dm2, s.gas2, s.meta2);
+  const FaultInjector::Observed obs = FaultInjector::global().observed();
+  FaultInjector::global().disarm();
+  if (!measured.ok() || obs.ops == 0 || obs.bytes == 0) {
+    std::fprintf(stderr, "measuring pass failed: %s (ops=%llu bytes=%llu)\n",
+                 measured.message().c_str(),
+                 static_cast<unsigned long long>(obs.ops),
+                 static_cast<unsigned long long>(obs.bytes));
+    return 2;
+  }
+  s.ops_per_write = obs.ops;
+  s.bytes_per_write = obs.bytes;
+  std::printf("sweeping: %llu ops, %llu bytes per checkpoint write\n",
+              static_cast<unsigned long long>(obs.ops),
+              static_cast<unsigned long long>(obs.bytes));
+
+  // Crash at every syscall boundary, both post-crash outcomes.
+  for (std::uint64_t op = 1; op <= s.ops_per_write; ++op) {
+    for (const bool lose : {false, true}) {
+      FaultInjector::Plan plan;
+      plan.crash_at_op = op;
+      plan.lose_unsynced = lose;
+      s.run_point(point_name("crash_at_op", op, lose), plan, true);
+    }
+  }
+
+  // Crash at every byte of the header and of the trailer, and on a stride
+  // through the payload.  Byte offsets count written bytes, so the header
+  // spans [0, 64) and the trailer ends the stream.
+  constexpr std::uint64_t kHeaderBytes = 8 * sizeof(std::uint64_t);
+  const std::uint64_t trailer_bytes = sizeof(hacc::core::CheckpointTrailer);
+  std::vector<std::uint64_t> byte_points;
+  for (std::uint64_t b = 0; b <= kHeaderBytes; ++b) byte_points.push_back(b);
+  for (std::uint64_t b = s.bytes_per_write - trailer_bytes;
+       b <= s.bytes_per_write; ++b) {
+    byte_points.push_back(b);
+  }
+  for (std::uint64_t b = kHeaderBytes + 997;
+       b < s.bytes_per_write - trailer_bytes; b += 997) {
+    byte_points.push_back(b);
+  }
+  for (const std::uint64_t b : byte_points) {
+    for (const bool lose : {false, true}) {
+      FaultInjector::Plan plan;
+      plan.crash_at_byte = b;
+      plan.lose_unsynced = lose;
+      s.run_point(point_name("crash_at_byte", b, lose), plan, true);
+    }
+  }
+
+  // Plain failure of each syscall: typed error, committed checkpoint intact.
+  for (std::uint64_t op = 1; op <= s.ops_per_write; ++op) {
+    FaultInjector::Plan plan;
+    plan.fail_at_op = op;
+    s.run_point("fail_at_op=" + std::to_string(op), plan, false);
+  }
+
+  write_summary(false, &s);
+  fs::remove_all(s.dir, ec);
+  std::printf("crash sweep: %llu points, %zu violation(s); summary -> %s\n",
+              static_cast<unsigned long long>(s.points), s.violations.size(),
+              out_path.c_str());
+  return s.violations.empty() ? 0 : 1;
+}

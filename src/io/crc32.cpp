@@ -1,0 +1,45 @@
+#include "io/crc32.hpp"
+
+#include <array>
+
+namespace hacc::io {
+
+namespace {
+
+// Byte-at-a-time table for the reflected IEEE polynomial, built once at
+// first use.  Throughput is far from the checkpoint bottleneck (the disk
+// is), so the simple table form beats carrying a slicing-by-8 variant.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB8'8320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = crc_table();
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  Crc32 c;
+  c.update(data, n);
+  return c.value();
+}
+
+}  // namespace hacc::io

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+/// checkpoint format uses to validate each on-disk section independently
+/// (header, per-species payload, meta trailer).  Streaming interface so
+/// multi-gigabyte payloads can be checksummed while they are written or
+/// verified without a second pass over memory.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hacc::io {
+
+/// Incremental CRC-32 accumulator.  Feed bytes with update(), read the
+/// digest with value(); value() may be read mid-stream (it finalizes a
+/// copy, the accumulator keeps streaming).
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n);
+
+  /// Digest of everything fed so far.
+  std::uint32_t value() const { return state_ ^ 0xFFFF'FFFFu; }
+
+  void reset() { state_ = 0xFFFF'FFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFF'FFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+}  // namespace hacc::io

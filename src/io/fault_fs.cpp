@@ -1,0 +1,412 @@
+#include "io/fault_fs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <fstream>
+#include <system_error>
+
+namespace hacc::io {
+
+namespace {
+
+std::string errno_msg(const char* what, const std::string& path) {
+  return std::string(what) + " '" + path + "': " +
+         std::error_code(errno, std::generic_category()).message();
+}
+
+// Raw (untracked) helpers the crash rollback uses: rollback simulates what
+// the kernel would have left on disk, so it must not feed back into the
+// injector's own op accounting.
+void raw_write_whole_file(const std::string& path, const std::string& bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (w <= 0) break;
+    done += static_cast<std::size_t>(w);
+  }
+  ::close(fd);
+}
+
+bool raw_read_whole_file(const std::string& path, std::string& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  bytes.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+bool fault_injection_compiled() {
+#ifdef HACC_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const Plan& plan) {
+  util::MutexLock lock(mu_);
+  armed_ = true;
+  plan_ = plan;
+  op_count_ = 0;
+  byte_count_ = 0;
+  crash_after_write_ = false;
+  files_.clear();
+  undo_.clear();
+}
+
+void FaultInjector::disarm() {
+  util::MutexLock lock(mu_);
+  armed_ = false;
+  crash_after_write_ = false;
+  files_.clear();
+  undo_.clear();
+}
+
+bool FaultInjector::armed() const {
+  util::MutexLock lock(mu_);
+  return armed_;
+}
+
+FaultInjector::Observed FaultInjector::observed() const {
+  util::MutexLock lock(mu_);
+  return {op_count_, byte_count_};
+}
+
+int FaultInjector::find_file(const std::string& path) const {
+  // Newest entry wins: a path can be re-created after an earlier tracked
+  // file moved away from (or died at) the same name.
+  for (int i = static_cast<int>(files_.size()) - 1; i >= 0; --i) {
+    if (files_[static_cast<std::size_t>(i)].path == path) return i;
+  }
+  return -1;
+}
+
+void FaultInjector::snapshot(const std::string& path, const std::string& dir) {
+  DirUndo u;
+  u.path = path;
+  u.dir = dir;
+  u.existed_before = raw_read_whole_file(path, u.prior_bytes);
+  u.file_id = find_file(path);
+  undo_.push_back(std::move(u));
+}
+
+void FaultInjector::crash(const char* what, const std::string& path) {
+  if (plan_.lose_unsynced) {
+    // Jaaru-style worst case: only fsynced bytes and dir-fsynced entries
+    // survive.  Undo the volatile directory mutations newest-first, clamping
+    // any restored tracked file to its durable prefix, then truncate every
+    // surviving tracked file the same way.
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      if (!it->existed_before) {
+        ::unlink(it->path.c_str());
+        continue;
+      }
+      std::string bytes = it->prior_bytes;
+      if (it->file_id >= 0 &&
+          it->file_id < static_cast<int>(files_.size())) {
+        const auto durable =
+            files_[static_cast<std::size_t>(it->file_id)].durable;
+        if (bytes.size() > durable) bytes.resize(durable);
+      }
+      raw_write_whole_file(it->path, bytes);
+    }
+    undo_.clear();
+    for (const auto& f : files_) {
+      if (f.path.empty()) continue;
+      struct stat st {};
+      if (::stat(f.path.c_str(), &st) == 0 &&
+          static_cast<std::uint64_t>(st.st_size) > f.durable) {
+        ::truncate(f.path.c_str(), static_cast<off_t>(f.durable));
+      }
+    }
+  }
+  // The "process" just died: whatever runs next (recovery) is a new life
+  // and must see plain passthrough I/O.  Counters survive for observed().
+  armed_ = false;
+  throw InjectedCrash(std::string("injected crash at ") + what + " '" + path +
+                      "' (op " + std::to_string(op_count_) + ", byte " +
+                      std::to_string(byte_count_) + ")");
+}
+
+bool FaultInjector::on_op(const char* what, const std::string& path,
+                          std::string& error) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return true;
+  ++op_count_;
+  if (plan_.fail_at_op != 0 && op_count_ == plan_.fail_at_op) {
+    error = std::string("injected failure: ") + what + " '" + path + "'";
+    return false;
+  }
+  if (plan_.crash_at_op != 0 && op_count_ == plan_.crash_at_op) {
+    crash(what, path);
+  }
+  return true;
+}
+
+bool FaultInjector::on_write(const std::string& path, std::size_t& n,
+                             std::string& error) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return true;
+  ++op_count_;
+  if (plan_.fail_at_op != 0 && op_count_ == plan_.fail_at_op) {
+    error = "injected failure: write '" + path + "'";
+    return false;
+  }
+  if (plan_.crash_at_op != 0 && op_count_ == plan_.crash_at_op) {
+    crash("write", path);
+  }
+  if (plan_.crash_at_byte != kNoByte &&
+      byte_count_ + n > plan_.crash_at_byte) {
+    // Tear the write: the prefix up to the crash byte reaches the file,
+    // then after_write() pulls the plug.
+    n = static_cast<std::size_t>(plan_.crash_at_byte - byte_count_);
+    crash_after_write_ = true;
+  }
+  return true;
+}
+
+void FaultInjector::after_write(const std::string& path, std::size_t written) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return;
+  byte_count_ += written;
+  int id = find_file(path);
+  if (id < 0) {
+    files_.push_back(FileState{path, 0, 0, false});
+    id = static_cast<int>(files_.size()) - 1;
+  }
+  files_[static_cast<std::size_t>(id)].written += written;
+  if (crash_after_write_) {
+    crash_after_write_ = false;
+    crash("write", path);
+  }
+}
+
+void FaultInjector::note_create(const std::string& path) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return;
+  snapshot(path, parent_dir(path));
+  const int id = find_file(path);
+  if (id >= 0) {
+    files_[static_cast<std::size_t>(id)] = FileState{path, 0, 0, false};
+  } else {
+    files_.push_back(FileState{path, 0, 0, false});
+  }
+}
+
+void FaultInjector::note_sync(const std::string& path) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return;
+  const int id = find_file(path);
+  if (id < 0) return;
+  auto& f = files_[static_cast<std::size_t>(id)];
+  f.durable = f.written;
+  f.synced_once = true;
+}
+
+void FaultInjector::note_rename(const std::string& from, const std::string& to) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return;
+  snapshot(to, parent_dir(to));
+  snapshot(from, parent_dir(from));
+  // A tracked file that was sitting at the target is gone after the rename;
+  // keep its record from shadowing the arrival.
+  const int old_target = find_file(to);
+  if (old_target >= 0) files_[static_cast<std::size_t>(old_target)].path.clear();
+  const int id = find_file(from);
+  if (id >= 0) files_[static_cast<std::size_t>(id)].path = to;
+}
+
+void FaultInjector::note_remove(const std::string& path) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return;
+  snapshot(path, parent_dir(path));
+  const int id = find_file(path);
+  if (id >= 0) files_[static_cast<std::size_t>(id)].path.clear();
+}
+
+void FaultInjector::note_sync_dir(const std::string& dir) {
+  util::MutexLock lock(mu_);
+  if (!armed_) return;
+  undo_.erase(std::remove_if(undo_.begin(), undo_.end(),
+                             [&dir](const DirUndo& u) { return u.dir == dir; }),
+              undo_.end());
+}
+
+// ---- wrappers ----
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File File::create(const std::string& path, IoStatus& st) {
+  File f;
+#ifdef HACC_FAULT_INJECTION
+  {
+    std::string err;
+    if (!FaultInjector::global().on_op("open", path, err)) {
+      st = IoStatus{false, std::move(err)};
+      return f;
+    }
+    // Snapshot before O_TRUNC destroys the prior contents.
+    FaultInjector::global().note_create(path);
+  }
+#endif
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    st = IoStatus{false, errno_msg("open", path)};
+    return f;
+  }
+  f.fd_ = fd;
+  f.path_ = path;
+  st = IoStatus{};
+  return f;
+}
+
+IoStatus File::write(const void* data, std::size_t n) {
+  if (fd_ < 0) return IoStatus{false, "write '" + path_ + "': file not open"};
+  std::size_t to_write = n;
+#ifdef HACC_FAULT_INJECTION
+  {
+    std::string err;
+    if (!FaultInjector::global().on_write(path_, to_write, err)) {
+      return IoStatus{false, std::move(err)};
+    }
+  }
+#endif
+  const char* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < to_write) {
+    const ssize_t w = ::write(fd_, p + done, to_write - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus{false, errno_msg("write", path_)};
+    }
+    done += static_cast<std::size_t>(w);
+  }
+#ifdef HACC_FAULT_INJECTION
+  // Throws InjectedCrash when this write was torn at a byte crash point.
+  FaultInjector::global().after_write(path_, done);
+#endif
+  return IoStatus{};
+}
+
+IoStatus File::sync() {
+  if (fd_ < 0) return IoStatus{false, "fsync '" + path_ + "': file not open"};
+#ifdef HACC_FAULT_INJECTION
+  {
+    std::string err;
+    if (!FaultInjector::global().on_op("fsync", path_, err)) {
+      return IoStatus{false, std::move(err)};
+    }
+  }
+#endif
+  if (::fsync(fd_) != 0) return IoStatus{false, errno_msg("fsync", path_)};
+#ifdef HACC_FAULT_INJECTION
+  FaultInjector::global().note_sync(path_);
+#endif
+  return IoStatus{};
+}
+
+IoStatus File::close() {
+  if (fd_ < 0) return IoStatus{};
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return IoStatus{false, errno_msg("close", path_)};
+  return IoStatus{};
+}
+
+IoStatus rename_file(const std::string& from, const std::string& to) {
+#ifdef HACC_FAULT_INJECTION
+  {
+    std::string err;
+    if (!FaultInjector::global().on_op("rename", from, err)) {
+      return IoStatus{false, std::move(err)};
+    }
+    FaultInjector::global().note_rename(from, to);
+  }
+#endif
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return IoStatus{false, errno_msg("rename", from + "' -> '" + to)};
+  }
+  return IoStatus{};
+}
+
+IoStatus remove_file(const std::string& path) {
+#ifdef HACC_FAULT_INJECTION
+  {
+    std::string err;
+    if (!FaultInjector::global().on_op("unlink", path, err)) {
+      return IoStatus{false, std::move(err)};
+    }
+    FaultInjector::global().note_remove(path);
+  }
+#endif
+  if (::unlink(path.c_str()) != 0) {
+    return IoStatus{false, errno_msg("unlink", path)};
+  }
+  return IoStatus{};
+}
+
+IoStatus sync_dir(const std::string& dir) {
+#ifdef HACC_FAULT_INJECTION
+  {
+    std::string err;
+    if (!FaultInjector::global().on_op("fsync_dir", dir, err)) {
+      return IoStatus{false, std::move(err)};
+    }
+  }
+#endif
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return IoStatus{false, errno_msg("open dir", dir)};
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return IoStatus{false, errno_msg("fsync dir", dir)};
+  }
+#ifdef HACC_FAULT_INJECTION
+  FaultInjector::global().note_sync_dir(dir);
+#endif
+  return IoStatus{};
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace hacc::io

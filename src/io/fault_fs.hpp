@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file
+/// Fault-injectable filesystem layer: thin wrappers over POSIX
+/// open/write/fsync/rename/unlink that the checkpoint writer routes every
+/// durability-relevant syscall through.  In production builds
+/// (`HACC_FAULT_INJECTION` off) the wrappers compile to plain passthrough;
+/// with injection compiled in, an armed FaultInjector can make any syscall
+/// fail, truncate a write at an exact byte offset, or "crash" the process
+/// mid-protocol — and, jaaru-style, roll the filesystem back to exactly the
+/// state a real power cut could have left behind.
+///
+/// The crash model tracks which bytes and directory entries are *durable*
+/// (reached by an fsync of the file, resp. of the parent directory) versus
+/// merely *written*.  A crash with `lose_unsynced` set discards everything
+/// volatile: files are truncated back to their last fsynced size and
+/// un-fsynced creates/renames/removes are undone from an undo log.  A crash
+/// without it keeps the written state as-is (the page cache happened to
+/// reach disk).  Both outcomes are legal after a real crash, so the
+/// crash-injection sweep asserts recovery under each
+/// (docs/RUNNING.md#crash-consistency).
+///
+/// Thread-compatible: the injector serializes its own bookkeeping, but a
+/// sweep arms/disarms around single-threaded checkpoint writes; wrapped
+/// calls from several threads would interleave one global op counter.
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace hacc::io {
+
+/// Outcome of one wrapped filesystem operation: success, or an
+/// errno-derived message ("write '<path>': No space left on device").
+struct IoStatus {
+  bool ok = true;
+  std::string message;
+  explicit operator bool() const { return ok; }
+};
+
+/// Thrown by an armed FaultInjector when the plan's crash point is reached:
+/// simulates the writing process dying mid-syscall.  Never thrown in
+/// production builds.
+class InjectedCrash : public std::exception {
+ public:
+  explicit InjectedCrash(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// True when the wrappers were compiled with the injection hooks
+/// (HACC_FAULT_INJECTION); false in passthrough/production builds, where
+/// arming the injector has no effect.
+bool fault_injection_compiled();
+
+/// Singleton controlling fault injection over the io wrappers.  Disarmed by
+/// default (and in production builds permanently): wrappers run the plain
+/// syscall.  A sweep arms a Plan, runs the code under test, catches
+/// InjectedCrash, then disarms and inspects the on-disk aftermath.
+class FaultInjector {
+ public:
+  /// Sentinel: no byte-offset crash point.
+  static constexpr std::uint64_t kNoByte = ~0ull;
+
+  /// What to inject.  Syscall sequence numbers are 1-based and count every
+  /// wrapped operation (open/write/fsync/rename/fsync_dir/remove) since
+  /// arm(); byte offsets count payload bytes across all write() calls since
+  /// arm().  Zero / kNoByte fields are inactive; a default Plan records
+  /// op/byte totals without injecting anything (the sweep's measuring pass).
+  struct Plan {
+    std::uint64_t fail_at_op = 0;     ///< Nth op reports failure, run continues
+    std::uint64_t crash_at_op = 0;    ///< crash in place of the Nth op
+    std::uint64_t crash_at_byte = kNoByte;  ///< crash mid-write after N bytes
+    bool lose_unsynced = false;       ///< crash also drops un-fsynced state
+  };
+
+  /// Ops/bytes observed since the last arm() — sizes the sweep space.
+  struct Observed {
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  static FaultInjector& global();
+
+  void arm(const Plan& plan);
+  /// Stops injecting and drops all tracking state (undo log, file sizes).
+  void disarm();
+  bool armed() const;
+  Observed observed() const;
+
+  // ---- hooks called by the wrappers (not for direct use) ----
+
+  /// Announces one non-write syscall about to run.  Returns false (filling
+  /// `error`) to make it fail; throws InjectedCrash at the crash point.
+  bool on_op(const char* what, const std::string& path, std::string& error);
+  /// write() variant: may clip `n` to hit a byte-exact crash point.  The
+  /// caller performs the (possibly clipped) write, then calls
+  /// after_write(); a clipped write crashes there, after the torn prefix
+  /// reached the file.
+  bool on_write(const std::string& path, std::size_t& n, std::string& error);
+  void after_write(const std::string& path, std::size_t written);
+
+  /// State-tracking hooks (no-ops unless armed).
+  void note_create(const std::string& path);
+  void note_sync(const std::string& path);
+  void note_rename(const std::string& from, const std::string& to);
+  void note_remove(const std::string& path);
+  void note_sync_dir(const std::string& dir);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+
+  // Data durability per tracked file, keyed by an inode-like id that
+  // survives renames: `written` is the current size, `durable` the size as
+  // of the last fsync — the prefix a lose_unsynced crash keeps.
+  struct FileState {
+    std::string path;  // current name
+    std::uint64_t written = 0;
+    std::uint64_t durable = 0;
+    bool synced_once = false;
+  };
+
+  // One directory-entry mutation that is not yet durable (no fsync of the
+  // parent directory since).  Rolling back restores `path` to its prior
+  // state: absent, or the snapshotted bytes.
+  struct DirUndo {
+    std::string path;
+    std::string dir;           // parent directory the entry lives in
+    bool existed_before = false;
+    std::string prior_bytes;   // contents iff existed_before
+    int file_id = -1;          // tracked file the restored bytes belong to
+  };
+
+  void crash(const char* what, const std::string& path)
+      HACC_REQUIRES(mu_);
+  int find_file(const std::string& path) const HACC_REQUIRES(mu_);
+  void snapshot(const std::string& path, const std::string& dir)
+      HACC_REQUIRES(mu_);
+
+  mutable util::Mutex mu_;
+  bool armed_ HACC_GUARDED_BY(mu_) = false;
+  Plan plan_ HACC_GUARDED_BY(mu_);
+  std::uint64_t op_count_ HACC_GUARDED_BY(mu_) = 0;
+  std::uint64_t byte_count_ HACC_GUARDED_BY(mu_) = 0;
+  bool crash_after_write_ HACC_GUARDED_BY(mu_) = false;  // torn write pending
+  std::vector<FileState> files_ HACC_GUARDED_BY(mu_);
+  std::vector<DirUndo> undo_ HACC_GUARDED_BY(mu_);
+};
+
+/// RAII write-side file handle routed through the fault layer.  Move-only;
+/// the destructor closes without syncing (durability is explicit via
+/// sync()).
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Creates (or truncates) `path` for writing.  On failure the returned
+  /// File is closed and `st` carries the reason.
+  static File create(const std::string& path, IoStatus& st);
+
+  IoStatus write(const void* data, std::size_t n);
+  /// fsync: the written bytes become durable.
+  IoStatus sync();
+  IoStatus close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// rename(from, to).  Atomic on POSIX; durable only after sync_dir() of the
+/// containing directory.
+IoStatus rename_file(const std::string& from, const std::string& to);
+
+/// unlink(path).  Durable only after sync_dir() of the containing directory.
+IoStatus remove_file(const std::string& path);
+
+/// fsync of a directory: makes completed renames/creates/removes of entries
+/// in it durable.
+IoStatus sync_dir(const std::string& dir);
+
+/// The directory part of `path` ("." when it has none) — what sync_dir()
+/// needs after renaming a file at `path` into place.
+std::string parent_dir(const std::string& path);
+
+}  // namespace hacc::io

@@ -1,11 +1,12 @@
 // hacc_run: the scenario-driven simulation CLI.
 //
-//   hacc_run [--list] [--config <file>] [--restart <ckpt>]
+//   hacc_run [--list] [--config <file>] [--restart <ckpt>|auto]
 //            [--trace <out.json>] [key=value ...]
 //
 //   hacc_run scenario=paper-benchmark                 # the paper's benchmark
 //   hacc_run scenario=cosmology-box run.log=box.jsonl # adaptive + checkpoints
 //   hacc_run scenario=cosmology-box --restart cosmology-box.ckpt.step8
+//   hacc_run scenario=cosmology-box --restart=auto    # newest valid checkpoint
 //   hacc_run scenario=paper-benchmark --trace=trace.json  # Perfetto trace
 //
 // Keys are documented in docs/CONFIG.md; runs stream JSON-lines events to
@@ -30,10 +31,12 @@ namespace {
 
 void print_usage() {
   std::printf(
-      "usage: hacc_run [--list] [--config <file>] [--restart <ckpt>] "
+      "usage: hacc_run [--list] [--config <file>] [--restart <ckpt>|auto] "
       "[--trace <out.json>] [key=value ...]\n"
       "       scenario=<name> selects a preset (see --list); every other\n"
-      "       key=value overrides it.  Keys: docs/CONFIG.md.\n");
+      "       key=value overrides it.  Keys: docs/CONFIG.md.\n"
+      "       --restart auto resumes from the newest checkpoint that passes\n"
+      "       full CRC validation, falling back to older ones.\n");
 }
 
 // ThreadPool worker-start hook: name each worker's trace lane before it
@@ -73,6 +76,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       (std::strcmp(arg, "--restart") == 0 ? restart : config_file) = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--restart=", 10) == 0) {
+      restart = arg + 10;
       continue;
     }
     if (std::strncmp(arg, "--trace=", 8) == 0) {
@@ -166,6 +173,16 @@ int main(int argc, char** argv) {
         "%zu diagnostic outputs\n",
         result.steps, result.total_steps, result.final_z, result.wall_seconds,
         result.checkpoints_written, result.outputs.size());
+    if (result.recovered_from_step >= 0) {
+      std::printf("  auto-recovered from checkpoint step %d\n",
+                  result.recovered_from_step);
+    }
+    if (result.checkpoint_failures > 0) {
+      std::fprintf(stderr,
+                   "hacc_run: %d checkpoint write(s) failed; the run "
+                   "continued but may not be restartable\n",
+                   result.checkpoint_failures);
+    }
     for (const auto& out : result.outputs) {
       std::printf(
           "  output at z=%7.3f: %d halos (largest %d), kernel PP %.3f, "

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "io/fault_fs.hpp"
 #include "metrics/cascade.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
@@ -58,6 +59,9 @@ ScenarioRunner::ScenarioRunner(const core::SimConfig& sim, const RunOptions& opt
   m_ckpt_writes_ = m.counter("ckpt.writes");
   m_ckpt_bytes_ = m.counter("ckpt.bytes");
   m_ckpt_write_s_ = m.counter("ckpt.write_s");
+  m_ckpt_validate_ = m.counter("ckpt.validate");
+  m_ckpt_failures_ = m.counter("ckpt.failures");
+  m_ckpt_recovered_ = m.gauge("ckpt.recovered_from");
   m_run_outputs_ = m.counter("run.outputs");
   m_stepctl_da_ = m.gauge("stepctl.da_next");
 }
@@ -89,12 +93,20 @@ void ScenarioRunner::log_line(const std::string& json, bool durable) {
 
 void ScenarioRunner::start_from_checkpoint_or_ics() {
   const obs::TraceSpan span("run.init");
-  if (!opt_.restart_from.empty()) {
+  if (opt_.restart_from == RunOptions::kRestartAuto) {
+    if (recover_latest_checkpoint() < 0) {
+      solver_.initialize();
+      log_line("{\"type\":\"init\",\"step\":0,\"a\":" +
+               std::to_string(solver_.scale_factor()) + "}");
+    }
+  } else if (!opt_.restart_from.empty()) {
     core::ParticleSet dm, gas;
     core::RunCheckpointMeta meta;
-    if (!core::read_run_checkpoint(opt_.restart_from, dm, gas, meta)) {
+    if (const core::CkptResult r =
+            core::read_run_checkpoint(opt_.restart_from, dm, gas, meta);
+        !r.ok()) {
       throw std::runtime_error("ScenarioRunner: cannot read run checkpoint '" +
-                               opt_.restart_from + "'");
+                               opt_.restart_from + "': " + r.message());
     }
     if (meta.config_hash != core::config_signature(sim_)) {
       throw std::runtime_error(
@@ -104,14 +116,7 @@ void ScenarioRunner::start_from_checkpoint_or_ics() {
     }
     solver_.restore(std::move(dm), std::move(gas), meta.scale_factor,
                     static_cast<int>(meta.step));
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"type\":\"restart\",\"step\":%" PRIu64
-                  ",\"a\":%.17g,\"z\":%.6f,\"file\":\"%s\"}",
-                  meta.step, meta.scale_factor,
-                  ic::Cosmology::z_of_a(meta.scale_factor),
-                  json_escape(opt_.restart_from).c_str());
-    log_line(buf);
+    log_restart_event(opt_.restart_from, meta);
   } else {
     solver_.initialize();
     log_line("{\"type\":\"init\",\"step\":0,\"a\":" +
@@ -124,6 +129,110 @@ void ScenarioRunner::start_from_checkpoint_or_ics() {
   }
 }
 
+void ScenarioRunner::log_restart_event(const std::string& file,
+                                       const core::RunCheckpointMeta& meta) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"restart\",\"step\":%" PRIu64
+                ",\"a\":%.17g,\"z\":%.6f,\"file\":\"%s\"}",
+                meta.step, meta.scale_factor,
+                ic::Cosmology::z_of_a(meta.scale_factor),
+                json_escape(file).c_str());
+  log_line(buf);
+}
+
+int ScenarioRunner::recover_latest_checkpoint() {
+  if (opt_.checkpoint_path.empty()) {
+    throw std::runtime_error(
+        "ScenarioRunner: restart 'auto' needs run.checkpoint set — the scan "
+        "looks for <run.checkpoint>.step<N> files");
+  }
+  namespace fs = std::filesystem;
+  const fs::path as_path(opt_.checkpoint_path);
+  const fs::path dir =
+      as_path.has_parent_path() ? as_path.parent_path() : fs::path(".");
+  const std::string base = as_path.filename().string() + ".step";
+
+  // Candidate files <base>.step<N>; a pure-numeric suffix excludes `.tmp`
+  // leftovers of writes that died before their atomic rename.
+  std::vector<std::pair<int, std::string>> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= base.size() || name.compare(0, base.size(), base) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(base.size());
+    if (suffix.find_first_not_of("0123456789") != std::string::npos) continue;
+    candidates.emplace_back(std::stoi(suffix),
+                            opt_.checkpoint_path + ".step" + suffix);
+  }
+  std::sort(candidates.rbegin(), candidates.rend());  // newest first
+
+  auto& m = obs::MetricsRegistry::global();
+  const std::uint64_t want_sig = core::config_signature(sim_);
+  for (const auto& [step, path] : candidates) {
+    core::RunCheckpointMeta meta;
+    const core::CkptResult v = core::validate_run_checkpoint(path, &meta);
+    m.inc(m_ckpt_validate_);
+    const bool config_ok = !v.ok() || meta.config_hash == want_sig;
+    const char* status =
+        v.ok() ? (config_ok ? "ok" : "config_mismatch") : to_string(v.status);
+    log_line("{\"type\":\"ckpt_validate\",\"step\":" + std::to_string(step) +
+             ",\"file\":\"" + json_escape(path) + "\",\"status\":\"" + status +
+             "\",\"detail\":\"" + json_escape(v.detail) + "\"}");
+    if (!v.ok()) {
+      m.inc(m_ckpt_failures_);
+      continue;
+    }
+    if (!config_ok) continue;
+
+    core::ParticleSet dm, gas;
+    if (const core::CkptResult r =
+            core::read_run_checkpoint(path, dm, gas, meta);
+        !r.ok()) {
+      // Validated a moment ago but unreadable now (e.g. I/O error): treat
+      // like any other bad candidate and fall back to an older one.
+      m.inc(m_ckpt_failures_);
+      log_line("{\"type\":\"ckpt_validate\",\"step\":" + std::to_string(step) +
+               ",\"file\":\"" + json_escape(path) + "\",\"status\":\"" +
+               to_string(r.status) + "\",\"detail\":\"" +
+               json_escape(r.detail) + "\"}");
+      continue;
+    }
+    solver_.restore(std::move(dm), std::move(gas), meta.scale_factor,
+                    static_cast<int>(meta.step));
+    m.set(m_ckpt_recovered_, static_cast<double>(step));
+    result_.recovered_from_step = step;
+    // Known-good survivors ascending: the chosen file plus every older
+    // candidate (retention counts them; corrupt newer ones stay out).
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      if (it->first <= step) live_checkpoints_.push_back(*it);
+    }
+    log_line("{\"type\":\"recovery\",\"step\":" + std::to_string(step) +
+                 ",\"file\":\"" + json_escape(path) +
+                 "\",\"recovered_from\":" + std::to_string(step) +
+                 ",\"candidates\":" + std::to_string(candidates.size()) + "}",
+             /*durable=*/true);
+    log_restart_event(path, meta);
+    return step;
+  }
+
+  if (!candidates.empty()) {
+    throw std::runtime_error(
+        "ScenarioRunner: restart 'auto' found " +
+        std::to_string(candidates.size()) + " checkpoint(s) under '" +
+        opt_.checkpoint_path +
+        ".step<N>' but none validates; refusing to silently recompute from "
+        "ICs (see ckpt_validate events for per-file status)");
+  }
+  m.set(m_ckpt_recovered_, -1.0);
+  log_line(
+      "{\"type\":\"recovery\",\"step\":0,\"file\":\"\","
+      "\"recovered_from\":-1,\"candidates\":0}");
+  return -1;
+}
+
 void ScenarioRunner::write_checkpoint_file(int step) {
   const obs::TraceSpan span("run.checkpoint");
   const double t0 = util::wtime();
@@ -134,18 +243,35 @@ void ScenarioRunner::write_checkpoint_file(int step) {
   meta.scale_factor = solver_.scale_factor();
   meta.step = static_cast<std::uint64_t>(step);
   meta.config_hash = core::config_signature(sim_);
-  if (!core::write_run_checkpoint(path, solver_.dm(), solver_.gas(), meta)) {
-    throw std::runtime_error("ScenarioRunner: cannot write checkpoint '" +
-                             path + "'");
+  const core::CkptResult wr =
+      core::write_run_checkpoint(path, solver_.dm(), solver_.gas(), meta);
+  if (!wr.ok()) {
+    on_checkpoint_error(step, path, wr);
+    return;  // continue-on-error: the run keeps stepping without this file
   }
+
+  // Post-write verification: CRC-scan the file just renamed into place
+  // before counting it restartable (and before pruning any predecessor).
+  auto& m = obs::MetricsRegistry::global();
+  const core::CkptResult v = core::validate_run_checkpoint(path);
+  m.inc(m_ckpt_validate_);
+  log_line("{\"type\":\"ckpt_validate\",\"step\":" + std::to_string(step) +
+           ",\"file\":\"" + json_escape(path) + "\",\"status\":\"" +
+           (v.ok() ? "ok" : to_string(v.status)) + "\",\"detail\":\"" +
+           json_escape(v.detail) + "\"}");
+  if (!v.ok()) {
+    on_checkpoint_error(step, path, v);
+    return;
+  }
+
   ++result_.checkpoints_written;
   result_.checkpoint_files.push_back(path);
+  live_checkpoints_.emplace_back(step, path);
 
   const double write_s = util::wtime() - t0;
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(path, ec);
   const double bytes = ec ? 0.0 : static_cast<double>(size);
-  auto& m = obs::MetricsRegistry::global();
   m.inc(m_ckpt_writes_);
   m.inc(m_ckpt_bytes_, bytes);
   m.inc(m_ckpt_write_s_, write_s);
@@ -153,10 +279,46 @@ void ScenarioRunner::write_checkpoint_file(int step) {
   char buf[400];
   std::snprintf(buf, sizeof(buf),
                 "{\"type\":\"checkpoint\",\"step\":%d,\"a\":%.17g,"
-                "\"file\":\"%s\",\"bytes\":%.0f,\"write_s\":%.6f}",
+                "\"file\":\"%s\",\"bytes\":%.0f,\"write_s\":%.6f,"
+                "\"crc\":\"ok\"}",
                 step, meta.scale_factor, json_escape(path).c_str(), bytes,
                 write_s);
   log_line(buf, /*durable=*/true);
+  prune_checkpoints(step);
+}
+
+void ScenarioRunner::on_checkpoint_error(int step, const std::string& path,
+                                         const core::CkptResult& result) {
+  obs::MetricsRegistry::global().inc(m_ckpt_failures_);
+  ++result_.checkpoint_failures;
+  // Durable: whoever inspects the aftermath must see WHY restartability was
+  // lost even if the process dies right after this line.
+  log_line("{\"type\":\"error\",\"step\":" + std::to_string(step) +
+               ",\"what\":\"checkpoint\",\"file\":\"" + json_escape(path) +
+               "\",\"status\":\"" + to_string(result.status) +
+               "\",\"detail\":\"" + json_escape(result.detail) + "\"}",
+           /*durable=*/true);
+  if (!opt_.checkpoint_continue_on_error) {
+    throw std::runtime_error("ScenarioRunner: checkpoint write '" + path +
+                             "' failed: " + result.message());
+  }
+}
+
+void ScenarioRunner::prune_checkpoints(int step) {
+  if (opt_.checkpoint_keep <= 0) return;  // keep everything
+  while (live_checkpoints_.size() >
+         static_cast<std::size_t>(opt_.checkpoint_keep)) {
+    // Oldest first, and only ever after a newer checkpoint has verified —
+    // so the set of valid on-disk checkpoints never goes below the cap.
+    const auto [old_step, old_path] = live_checkpoints_.front();
+    live_checkpoints_.erase(live_checkpoints_.begin());
+    if (const io::IoStatus st = io::remove_file(old_path); st) {
+      io::sync_dir(io::parent_dir(old_path));
+    }
+    log_line("{\"type\":\"ckpt_prune\",\"step\":" + std::to_string(step) +
+             ",\"file\":\"" + json_escape(old_path) +
+             "\",\"pruned_step\":" + std::to_string(old_step) + "}");
+  }
 }
 
 void ScenarioRunner::run_diagnostics(int step) {
@@ -242,6 +404,9 @@ RunResult ScenarioRunner::run() {
   // Registrations (and the handles cached above and in the solver's
   // subsystems) survive the reset.
   obs::MetricsRegistry::global().reset();
+  // -1 = "this run did not recover from a checkpoint" — distinguishable
+  // from a recovery at step 0 in every metrics snapshot.
+  obs::MetricsRegistry::global().set(m_ckpt_recovered_, -1.0);
   last_m2p_ = solver_.fmm_ops().m2p_ops;
 
   open_log();

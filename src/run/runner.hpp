@@ -35,7 +35,25 @@ struct RunOptions {
   std::string checkpoint_path;
   int checkpoint_every = 0;       ///< write every k steps (0 disables periodic)
   bool checkpoint_final = false;  ///< also write after the last step
-  std::string restart_from;     ///< resume from this run checkpoint
+  /// Double-buffered retention: keep only the newest k on-disk checkpoints,
+  /// pruning older ones — but only after the newer write has been verified,
+  /// so the count of valid checkpoints never drops below k.  0 keeps all.
+  int checkpoint_keep = 0;
+  /// A failed or unverifiable checkpoint write normally aborts the run
+  /// (std::runtime_error) after logging a durable JSONL `error` event.  With
+  /// this set the run logs the same event and keeps stepping — for runs
+  /// where losing restartability is preferable to losing the simulation.
+  bool checkpoint_continue_on_error = false;
+  /// Resume source: empty starts fresh; a path resumes from that checkpoint
+  /// (failures throw); the literal "auto" scans
+  /// `<checkpoint_path>.step<N>` files, fully validates each candidate
+  /// (CRCs + config signature), resumes from the newest valid one, and
+  /// starts fresh only when none exist.  Candidates that exist but all fail
+  /// validation throw rather than silently recomputing from ICs.
+  std::string restart_from;
+
+  /// RunOptions::restart_from value selecting the recovery scan.
+  static constexpr const char* kRestartAuto = "auto";
 
   /// Redshifts at which to run the in-run diagnostics (FoF halos + metrics
   /// cascade); each fires once, when the run first reaches it.
@@ -67,6 +85,10 @@ struct RunResult {
   double wall_seconds = 0.0;
   int checkpoints_written = 0;
   std::vector<std::string> checkpoint_files;  ///< paths written, in order
+  int checkpoint_failures = 0;  ///< failed writes survived (continue-on-error)
+  /// Step of the checkpoint `--restart auto` resumed from; -1 when the run
+  /// started fresh (no candidates) or restart was not auto.
+  int recovered_from_step = -1;
   bool hit_max_steps = false;  ///< adaptive run stopped by RunOptions::max_steps
   std::vector<core::StepStats> history;   ///< per-step stats, in order
   std::vector<OutputRecord> outputs;      ///< diagnostics outputs, in order
@@ -101,7 +123,20 @@ class ScenarioRunner {
   /// right after the write.
   void log_line(const std::string& json, bool durable = false);
   void start_from_checkpoint_or_ics();
+  /// The `--restart auto` scan: validates every `<base>.step<N>` candidate
+  /// newest-first and restores the first fully valid one.  Returns the step
+  /// recovered from, or -1 for a fresh start; throws when candidates exist
+  /// but none validates.
+  int recover_latest_checkpoint();
+  void log_restart_event(const std::string& file,
+                         const core::RunCheckpointMeta& meta);
   void write_checkpoint_file(int step);
+  /// Reports one failed/unverifiable checkpoint write: durable JSONL
+  /// `error` event + ckpt.failures; throws unless checkpoint_continue_on_error.
+  void on_checkpoint_error(int step, const std::string& path,
+                           const core::CkptResult& result);
+  /// Removes on-disk checkpoints beyond checkpoint_keep (oldest first).
+  void prune_checkpoints(int step);
   void run_diagnostics(int step);
   void record_step_metrics(const core::StepStats& stats);
 
@@ -115,6 +150,10 @@ class ScenarioRunner {
   int last_checkpoint_step_ = -1;
   RunResult result_;
   bool ran_ = false;
+  /// On-disk checkpoints this run knows about (pre-existing candidates found
+  /// by the auto-restart scan + everything written and verified since),
+  /// ascending by step — the retention policy prunes from the front.
+  std::vector<std::pair<int, std::string>> live_checkpoints_;
 
   // Handles into obs::MetricsRegistry::global(), interned at construction
   // (registrations survive the registry reset run() performs).  The runner
@@ -133,6 +172,9 @@ class ScenarioRunner {
   obs::MetricsRegistry::Handle m_ckpt_writes_;
   obs::MetricsRegistry::Handle m_ckpt_bytes_;
   obs::MetricsRegistry::Handle m_ckpt_write_s_;
+  obs::MetricsRegistry::Handle m_ckpt_validate_;   // counter: CRC validations run
+  obs::MetricsRegistry::Handle m_ckpt_failures_;   // counter: failed writes/validations
+  obs::MetricsRegistry::Handle m_ckpt_recovered_;  // gauge: step recovered from (-1: none)
   obs::MetricsRegistry::Handle m_run_outputs_;
   obs::MetricsRegistry::Handle m_stepctl_da_;  // gauge: last Δa decision
   std::uint64_t last_m2p_ = 0;  // fmm_ops() is cumulative; we record deltas

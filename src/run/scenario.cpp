@@ -165,6 +165,11 @@ bool apply_config(const util::Config& cfg, core::SimConfig& sim,
       static_cast<int>(cfg.get_int("run.checkpoint_every", run.checkpoint_every));
   run.checkpoint_final =
       cfg.get_bool("run.checkpoint_final", run.checkpoint_final);
+  run.checkpoint_keep =
+      static_cast<int>(cfg.get_int("run.checkpoint_keep", run.checkpoint_keep));
+  run.checkpoint_continue_on_error =
+      cfg.get_bool("run.checkpoint_on_error_continue",
+                   run.checkpoint_continue_on_error);
   run.restart_from = cfg.get_string("run.restart", run.restart_from);
   run.fof_b = cfg.get_double("run.fof_b", run.fof_b);
   run.fof_min_members =
@@ -176,9 +181,15 @@ bool apply_config(const util::Config& cfg, core::SimConfig& sim,
     return false;
   }
   if (run.stepping.displacement_fraction <= 0.0 || run.stepping.da_min <= 0.0 ||
-      run.max_steps < 1) {
+      run.max_steps < 1 || run.checkpoint_keep < 0) {
     error = "invalid run options (need run.displacement_fraction > 0, "
-            "run.da_min > 0, run.max_steps >= 1)";
+            "run.da_min > 0, run.max_steps >= 1, run.checkpoint_keep >= 0)";
+    return false;
+  }
+  if (run.restart_from == RunOptions::kRestartAuto &&
+      run.checkpoint_path.empty()) {
+    error = "run.restart=auto needs run.checkpoint: the recovery scan looks "
+            "for <run.checkpoint>.step<N> files";
     return false;
   }
   return true;

@@ -64,7 +64,10 @@ TEST_F(CheckpointTest, EmptySetRoundTrips) {
 TEST_F(CheckpointTest, MissingFileFails) {
   ParticleSet q;
   double box, a;
-  EXPECT_FALSE(read_checkpoint("/nonexistent/path/x.bin", q, box, a));
+  const CkptResult r = read_checkpoint("/nonexistent/path/x.bin", q, box, a);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kOpenFailed);
+  EXPECT_NE(r.message().find("/nonexistent/path/x.bin"), std::string::npos);
 }
 
 TEST_F(CheckpointTest, CorruptedMagicRejected) {
@@ -78,7 +81,10 @@ TEST_F(CheckpointTest, CorruptedMagicRejected) {
   }
   ParticleSet q;
   double box, a;
-  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+  const CkptResult r = read_checkpoint(path_, q, box, a);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kBadMagic);
+  EXPECT_EQ(r.section, CkptSection::kHeader);
 }
 
 TEST_F(CheckpointTest, TruncatedFileRejected) {
@@ -102,12 +108,15 @@ TEST_F(CheckpointTest, WrongVersionRejected) {
   {
     std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
     f.seekp(offsetof(CheckpointHeader, version));
-    const std::uint32_t bad_version = 2;
+    const std::uint32_t bad_version = 7;
     f.write(reinterpret_cast<const char*>(&bad_version), sizeof(bad_version));
   }
   ParticleSet q;
   double box, a;
-  EXPECT_FALSE(read_checkpoint(path_, q, box, a));
+  const CkptResult r = read_checkpoint(path_, q, box, a);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kBadVersion);
+  EXPECT_NE(r.detail.find("7"), std::string::npos) << r.message();
 }
 
 TEST_F(CheckpointTest, HugeHeaderCountRejectedWithoutAllocation) {
@@ -191,6 +200,185 @@ TEST_F(CheckpointTest, RunCheckpointRejectsTruncation) {
   ParticleSet dm2, gas2;
   RunCheckpointMeta got;
   EXPECT_FALSE(read_run_checkpoint(path_, dm2, gas2, got));
+}
+
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+void dump_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// Serialized bytes per particle, derived from a file of known count.
+std::size_t bytes_per_particle(const std::string& path, std::size_t n) {
+  const std::string data = slurp_file(path);
+  return (data.size() - sizeof(CheckpointHeader) - sizeof(CheckpointTrailer)) /
+         n;
+}
+
+}  // namespace
+
+TEST_F(CheckpointTest, SuccessfulWriteLeavesNoTmpFile) {
+  const auto p = random_particles(8, 20);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  EXPECT_FALSE(std::ifstream(path_ + ".tmp").good())
+      << "the tmp staging file must be renamed away";
+}
+
+TEST_F(CheckpointTest, WriteToMissingDirectoryReportsOpenFailed) {
+  const auto p = random_particles(8, 21);
+  const CkptResult r =
+      write_checkpoint("/nonexistent-dir/sub/ckpt.bin", p, 25.0, 0.005);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kOpenFailed);
+}
+
+TEST_F(CheckpointTest, HeaderBitFlipPinpointsHeaderCrc) {
+  const auto p = random_particles(16, 22);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(offsetof(CheckpointHeader, box));
+    const double lie = 50.0;  // plausible value, structurally valid header
+    f.write(reinterpret_cast<const char*>(&lie), sizeof(lie));
+  }
+  ParticleSet q;
+  double box, a;
+  const CkptResult r = read_checkpoint(path_, q, box, a);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kCrcMismatch);
+  EXPECT_EQ(r.section, CkptSection::kHeader);
+  EXPECT_NE(r.detail.find("bytes [0, "), std::string::npos) << r.message();
+}
+
+TEST_F(CheckpointTest, PayloadBitFlipPinpointsPayloadSection) {
+  const auto p = random_particles(16, 23);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  std::string data = slurp_file(path_);
+  data[sizeof(CheckpointHeader) + 5] ^= 0x40;  // one bit, early in the payload
+  dump_file(path_, data);
+  ParticleSet q;
+  double box, a;
+  const CkptResult r = read_checkpoint(path_, q, box, a);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kCrcMismatch);
+  EXPECT_EQ(r.section, CkptSection::kPayload);
+}
+
+TEST_F(CheckpointTest, TrailingGarbageDetectedViaTrailer) {
+  const auto p = random_particles(16, 24);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  std::string data = slurp_file(path_);
+  data += "junk appended after a perfectly good checkpoint";
+  dump_file(path_, data);
+  ParticleSet q;
+  double box, a;
+  const CkptResult r = read_checkpoint(path_, q, box, a);
+  EXPECT_FALSE(r);
+  // Garbage displaces the trailer from the end of the file, so the trailer
+  // probe is what catches it.
+  EXPECT_EQ(r.section, CkptSection::kTrailer);
+}
+
+TEST_F(CheckpointTest, MissingParticleReportsSizesInDetail) {
+  const auto p = random_particles(16, 25);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  const std::size_t ppb = bytes_per_particle(path_, 16);
+  // Drop one particle's worth of payload but keep the (self-consistent)
+  // header and trailer: only the size cross-check can catch this.
+  std::string data = slurp_file(path_);
+  data.erase(sizeof(CheckpointHeader), ppb);
+  dump_file(path_, data);
+  ParticleSet q;
+  double box, a;
+  const CkptResult r = read_checkpoint(path_, q, box, a);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kSizeMismatch);
+  EXPECT_NE(r.detail.find("n_particles=16"), std::string::npos) << r.message();
+  EXPECT_NE(r.detail.find("payload bytes"), std::string::npos) << r.message();
+  EXPECT_EQ(q.size(), 0u) << "no allocation before the size check passes";
+}
+
+TEST_F(CheckpointTest, TornTrailerPinpointsTrailerSelfCrc) {
+  const auto p = random_particles(16, 26);
+  ASSERT_TRUE(write_checkpoint(path_, p, 25.0, 0.005));
+  std::string data = slurp_file(path_);
+  data[data.size() - 2] ^= 0x01;  // inside self_crc
+  dump_file(path_, data);
+  ParticleSet q;
+  double box, a;
+  const CkptResult r = read_checkpoint(path_, q, box, a);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, CkptStatus::kCrcMismatch);
+  EXPECT_EQ(r.section, CkptSection::kTrailer);
+}
+
+TEST_F(CheckpointTest, RunCheckpointGasFlipPinpointsGasSection) {
+  const auto dm = random_particles(12, 27);
+  const auto gas = random_particles(8, 28);
+  RunCheckpointMeta meta;
+  meta.box = 25.0;
+  ASSERT_TRUE(write_run_checkpoint(path_, dm, gas, meta));
+  const std::string data0 = slurp_file(path_);
+  const std::size_t ppb =
+      (data0.size() - 8 * sizeof(std::uint64_t) - sizeof(CheckpointTrailer)) /
+      20;
+  std::string data = data0;
+  // Flip one byte inside the gas span (after the dm payload).
+  data[8 * sizeof(std::uint64_t) + 12 * ppb + 3] ^= 0x10;
+  dump_file(path_, data);
+
+  const CkptResult v = validate_run_checkpoint(path_);
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.status, CkptStatus::kCrcMismatch);
+  EXPECT_EQ(v.section, CkptSection::kGasPayload);
+
+  ParticleSet dm2, gas2;
+  RunCheckpointMeta got;
+  const CkptResult r = read_run_checkpoint(path_, dm2, gas2, got);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.section, CkptSection::kGasPayload);
+
+  // ...and a dm-span flip names the dm section.
+  data = data0;
+  data[8 * sizeof(std::uint64_t) + 3 * ppb] ^= 0x10;
+  dump_file(path_, data);
+  const CkptResult v2 = validate_run_checkpoint(path_);
+  EXPECT_FALSE(v2);
+  EXPECT_EQ(v2.section, CkptSection::kDmPayload);
+}
+
+TEST_F(CheckpointTest, ValidateAcceptsIntactFileAndFillsMeta) {
+  const auto dm = random_particles(12, 29);
+  const auto gas = random_particles(8, 30);
+  RunCheckpointMeta meta;
+  meta.box = 25.0;
+  meta.scale_factor = 0.25;
+  meta.step = 42;
+  meta.config_hash = 0x1234;
+  ASSERT_TRUE(write_run_checkpoint(path_, dm, gas, meta));
+  RunCheckpointMeta got;
+  ASSERT_TRUE(validate_run_checkpoint(path_, &got));
+  EXPECT_DOUBLE_EQ(got.box, 25.0);
+  EXPECT_EQ(got.step, 42u);
+  EXPECT_EQ(got.config_hash, 0x1234u);
+}
+
+TEST_F(CheckpointTest, StatusAndSectionNamesAreStable) {
+  // These strings land in JSONL events; tools/check_events.py keys on them.
+  EXPECT_STREQ(to_string(CkptStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(CkptStatus::kCrcMismatch), "crc_mismatch");
+  EXPECT_STREQ(to_string(CkptStatus::kSizeMismatch), "size_mismatch");
+  EXPECT_STREQ(to_string(CkptSection::kTrailer), "trailer");
+  EXPECT_STREQ(to_string(CkptSection::kGasPayload), "gas_payload");
+  CkptResult r{CkptStatus::kCrcMismatch, CkptSection::kHeader, "boom"};
+  EXPECT_EQ(r.message(), "crc_mismatch(header): boom");
+  EXPECT_EQ(CkptResult{}.message(), "ok");
 }
 
 TEST_F(CheckpointTest, VersionsDoNotCrossRead) {

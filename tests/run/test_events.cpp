@@ -103,9 +103,12 @@ TEST_F(EventSchemaTest, EveryEventCarriesTypeStepAndTheMetricsSnapshot) {
       "step.wall_s.p95",  "step.wall_s.p99", "step.da.count",
       "ops.launches",     "ops.kernel_s",    "ops.interactions",
       "ops.m2p",          "ckpt.writes",     "ckpt.bytes",
-      "ckpt.write_s",     "run.outputs",     "stepctl.da_next"};
+      "ckpt.write_s",     "ckpt.validate",   "ckpt.failures",
+      "ckpt.recovered_from",                 "run.outputs",
+      "stepctl.da_next"};
   int step_events = 0;
   int checkpoint_events = 0;
+  int validate_events = 0;
   for (const auto& line : lines) {
     const std::string type = event_type(line);
     if (type == "step") {
@@ -121,6 +124,11 @@ TEST_F(EventSchemaTest, EveryEventCarriesTypeStepAndTheMetricsSnapshot) {
       EXPECT_TRUE(has_key(line, "file")) << line;
       EXPECT_TRUE(has_key(line, "bytes")) << line;
       EXPECT_TRUE(has_key(line, "write_s")) << line;
+      EXPECT_TRUE(has_key(line, "crc")) << line;
+    } else if (type == "ckpt_validate") {
+      ++validate_events;
+      EXPECT_TRUE(has_key(line, "file")) << line;
+      EXPECT_TRUE(has_key(line, "status")) << line;
     } else if (type == "run_summary") {
       ASSERT_TRUE(has_key(line, "metrics")) << line;
       for (const auto& key : required_metrics) {

@@ -6,12 +6,16 @@ Two modes:
   JSONL event stream (default)
       python3 tools/check_events.py run.jsonl
     Every line must be a JSON object carrying "type" and "step"; the stream
-    must open with `begin`, then `init` or `restart`, and close with
-    `run_summary` followed by `end`.  Step events must embed the metrics
-    registry snapshot with every runner-registered key (the
-    backend-independent set below); checkpoint events must name the file and
-    its cost.  The contract is documented in docs/OBSERVABILITY.md and
-    docs/RUNNING.md and pinned by tests/run/test_events.cpp.
+    must open with `begin`, then `init` or `restart` — optionally preceded
+    by the `--restart auto` recovery scan (`ckpt_validate` verdicts and one
+    `recovery` record) — and close with `run_summary` followed by `end`.
+    Step events must embed the metrics registry snapshot with every
+    runner-registered key (the backend-independent set below); checkpoint
+    events must name the file, its cost, and its post-write CRC verdict;
+    `ckpt_validate` / `recovery` / `error` / `ckpt_prune` events carry the
+    checkpoint-durability fields.  The contract is documented in
+    docs/OBSERVABILITY.md and docs/RUNNING.md and pinned by
+    tests/run/test_events.cpp.
 
   Chrome trace (--trace)
       python3 tools/check_events.py --trace trace.json [--min-threads N]
@@ -46,6 +50,7 @@ REQUIRED_STEP_METRICS = [
     "step.da.count", "step.da.sum", "step.da.p50", "step.da.p95", "step.da.p99",
     "ops.launches", "ops.kernel_s", "ops.interactions", "ops.m2p",
     "ckpt.writes", "ckpt.bytes", "ckpt.write_s",
+    "ckpt.validate", "ckpt.failures", "ckpt.recovered_from",
     "run.outputs", "stepctl.da_next",
 ]
 
@@ -55,12 +60,20 @@ REQUIRED_EVENT_KEYS = {
     "init": ["a"],
     "restart": ["a", "z", "file"],
     "step": ["a", "z", "da", "wall_s", "ke", "metrics"],
-    "checkpoint": ["a", "file", "bytes", "write_s"],
+    "checkpoint": ["a", "file", "bytes", "write_s", "crc"],
+    "ckpt_validate": ["file", "status"],
+    "recovery": ["file", "recovered_from", "candidates"],
+    "error": ["what"],
+    "ckpt_prune": ["file", "pruned_step"],
     "output": ["a", "z", "n_halos", "largest_halo"],
     "run_summary": ["metrics"],
     "end": ["steps", "total_steps", "a", "z", "wall_s", "checkpoints"],
     "max_steps": ["steps"],
 }
+
+# Events the `--restart auto` recovery scan may emit between `begin` and the
+# `init`/`restart` that actually starts the run.
+RECOVERY_SCAN_EVENTS = ("ckpt_validate", "recovery", "error")
 
 # `module.phase`: lowercase module segment; phase segments keep their own
 # capitalization (HACC kernel names like `xsycl.upBarAcF` pass through).
@@ -121,9 +134,15 @@ def check_jsonl(path: Path) -> list[str]:
     types = [obj.get("type") for _, obj in events]
     if types[0] != "begin":
         problem(events[0][0], f'stream must open with "begin", got "{types[0]}"')
-    if len(types) >= 2 and types[1] not in ("init", "restart"):
-        problem(events[1][0],
-                f'second event must be "init" or "restart", got "{types[1]}"')
+    # After `begin` (and any recovery-scan prelude) the run must announce how
+    # it started: fresh ICs (`init`) or a checkpoint (`restart`).
+    first_start = next((i for i, t in enumerate(types[1:], start=1)
+                        if t not in RECOVERY_SCAN_EVENTS), None)
+    if first_start is None or types[first_start] not in ("init", "restart"):
+        got = "nothing" if first_start is None else f'"{types[first_start]}"'
+        problem(events[min(first_start or 1, len(events) - 1)][0],
+                f'after "begin" and the recovery scan the stream must '
+                f'continue with "init" or "restart", got {got}')
     if types[-1] != "end":
         problem(events[-1][0], f'stream must close with "end", got "{types[-1]}"')
     elif len(types) < 2 or types[-2] != "run_summary":

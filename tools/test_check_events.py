@@ -35,7 +35,12 @@ def event(etype: str, step: int, **extra) -> dict:
         "step": {"a": 0.03, "z": 32.3, "da": 0.01, "wall_s": 0.5, "ke": 1.0,
                  "metrics": metrics_snapshot()},
         "checkpoint": {"a": 0.03, "file": "ck.step2", "bytes": 4096,
-                       "write_s": 0.01},
+                       "write_s": 0.01, "crc": "ok"},
+        "ckpt_validate": {"file": "ck.step2", "status": "ok", "detail": ""},
+        "recovery": {"file": "ck.step2", "recovered_from": 2, "candidates": 2},
+        "error": {"what": "checkpoint", "file": "ck.step2",
+                  "status": "open_failed", "detail": "no such directory"},
+        "ckpt_prune": {"file": "ck.step1", "pruned_step": 1},
         "output": {"a": 0.03, "z": 32.3, "n_halos": 4, "largest_halo": 32},
         "run_summary": {"metrics": metrics_snapshot()},
         "end": {"steps": 2, "total_steps": 2, "a": 0.04, "z": 24.0,
@@ -91,6 +96,65 @@ class JsonlStream(unittest.TestCase):
         events = valid_stream()
         events[1] = event("restart", 2)
         self.assertEqual(check_lines(events), [])
+
+    def test_recovery_scan_prelude_passes(self):
+        # `--restart auto`: validation verdicts and the recovery record sit
+        # between `begin` and the `restart` that starts the run.
+        events = valid_stream()
+        events[1:2] = [
+            event("ckpt_validate", 4, status="crc_mismatch"),
+            event("ckpt_validate", 2),
+            event("recovery", 2),
+            event("restart", 2),
+        ]
+        self.assertEqual(check_lines(events), [])
+
+    def test_fresh_start_recovery_prelude_passes(self):
+        events = valid_stream()
+        events[1:1] = [event("recovery", 0, recovered_from=-1, candidates=0)]
+        self.assertEqual(check_lines(events), [])
+
+    def test_missing_start_after_recovery_scan_flagged(self):
+        events = valid_stream()
+        events[1] = event("recovery", 2)  # scan verdicts but no init/restart
+        problems = check_lines(events)
+        self.assertTrue(any('"init" or "restart"' in p for p in problems))
+
+    def test_checkpoint_missing_crc_flagged(self):
+        events = valid_stream()
+        del events[3]["crc"]
+        problems = check_lines(events)
+        self.assertTrue(any('missing "crc"' in p for p in problems))
+
+    def test_ckpt_validate_missing_status_flagged(self):
+        events = valid_stream()
+        events[1:2] = [event("ckpt_validate", 2), event("init", 0)]
+        del events[1]["status"]
+        problems = check_lines(events)
+        self.assertTrue(any('missing "status"' in p for p in problems))
+
+    def test_error_event_missing_what_flagged(self):
+        events = valid_stream()
+        bad = event("error", 2)
+        del bad["what"]
+        events.insert(4, bad)
+        problems = check_lines(events)
+        self.assertTrue(any('missing "what"' in p for p in problems))
+
+    def test_prune_event_missing_pruned_step_flagged(self):
+        events = valid_stream()
+        bad = event("ckpt_prune", 2)
+        del bad["pruned_step"]
+        events.insert(4, bad)
+        problems = check_lines(events)
+        self.assertTrue(any('missing "pruned_step"' in p for p in problems))
+
+    def test_new_checkpoint_metrics_required(self):
+        events = valid_stream()
+        del events[2]["metrics"]["ckpt.recovered_from"]
+        problems = check_lines(events)
+        self.assertTrue(
+            any('missing "ckpt.recovered_from"' in p for p in problems))
 
     def test_invalid_json_line_flagged(self):
         with tempfile.TemporaryDirectory() as tmp:
