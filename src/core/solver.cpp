@@ -37,6 +37,52 @@ bool parse_gravity_backend(const std::string& name, GravityBackend& out) {
   return true;
 }
 
+const char* to_string(OverlapMode mode) {
+  switch (mode) {
+    case OverlapMode::kAuto:
+      return "auto";
+    case OverlapMode::kOn:
+      return "on";
+    case OverlapMode::kOff:
+      return "off";
+  }
+  return "auto";
+}
+
+bool parse_overlap_mode(const std::string& name, OverlapMode& out) {
+  if (name == "auto") {
+    out = OverlapMode::kAuto;
+  } else if (name == "on") {
+    out = OverlapMode::kOn;
+  } else if (name == "off") {
+    out = OverlapMode::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(InitialConditions ic) {
+  switch (ic) {
+    case InitialConditions::kZeldovich:
+      return "zeldovich";
+    case InitialConditions::kSedov:
+      return "sedov";
+  }
+  return "zeldovich";
+}
+
+bool parse_initial_conditions(const std::string& name, InitialConditions& out) {
+  if (name == "zeldovich") {
+    out = InitialConditions::kZeldovich;
+  } else if (name == "sedov") {
+    out = InitialConditions::kSedov;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::uint64_t config_signature(const SimConfig& cfg) {
   std::uint64_t h = 0x4352'4b48'4143'4321ull;  // "CRKHACC!"
   const auto mix = [&h](std::uint64_t v) { h = util::splitmix64(h ^ v); };
@@ -68,6 +114,8 @@ std::uint64_t config_signature(const SimConfig& cfg) {
   mix(static_cast<std::uint64_t>(cfg.gravity_backend));
   mix_d(cfg.fmm_theta);
   mix(static_cast<std::uint64_t>(cfg.leaf_size));
+  mix(static_cast<std::uint64_t>(cfg.ic_kind));
+  mix_d(cfg.sedov_energy);
   return h;
 }
 
@@ -120,7 +168,16 @@ Solver::Solver(const SimConfig& cfg, util::ThreadPool& pool)
   dopt.leaf_size = cfg_.leaf_size;
   dopt.skin = cfg_.domain_skin;
   dopt.rebuild = cfg_.domain_rebuild;
+  dopt.pool = pool_;  // level-parallel tree builds (bit-identical, rcb.hpp)
   domain_ = std::make_unique<domain::InteractionDomain>(dopt);
+
+  // Propagator: overlap needs a lane thread for the pm stage; with a
+  // 1-thread pool (or overlap off) zero lanes keeps execution strictly
+  // serial in declaration order — the determinism oracle.
+  overlap_enabled_ =
+      cfg_.sched_overlap == OverlapMode::kOn ||
+      (cfg_.sched_overlap == OverlapMode::kAuto && pool.size() > 1);
+  exec_ = std::make_unique<sched::StageExecutor>(overlap_enabled_ ? 1u : 0u);
 }
 
 void Solver::require_initialized(const char* what) const {
@@ -136,6 +193,17 @@ void Solver::initialize() {
         "Solver::initialize() called on an initialized solver; it would "
         "silently discard the evolved particle state");
   }
+  if (cfg_.ic_kind == InitialConditions::kSedov) {
+    initialize_sedov();
+  } else {
+    initialize_zeldovich();
+  }
+  initialized_ = true;
+  compute_forces(/*corrector=*/false);
+  steps_taken_ = 0;
+}
+
+void Solver::initialize_zeldovich() {
   const ic::PowerSpectrum pk(cfg_.cosmo, cfg_.sigma_norm, cfg_.r_norm);
   ic::ZeldovichOptions zopt;
   zopt.np_side = cfg_.np_side;
@@ -175,10 +243,67 @@ void Solver::initialize() {
   } else {
     gas_.resize(0);
   }
+}
 
-  initialized_ = true;
-  compute_forces(/*corrector=*/false);
-  steps_taken_ = 0;
+void Solver::initialize_sedov() {
+  // Sedov–Taylor blast ICs: both species on unperturbed lattices at rest
+  // (net gravity vanishes by symmetry), a cold uniform background u_init,
+  // and the blast energy E deposited as thermal energy into the gas
+  // particles within 1.5 lattice spacings of the box center.  The similarity
+  // solution R(t) = xi0 (E t^2 / rho0)^(1/5) is the ctest oracle
+  // (tests/run/test_sedov.cpp).
+  const std::size_t n = static_cast<std::size_t>(cfg_.np_side) * cfg_.np_side *
+                        cfg_.np_side;
+  const double m_total = cfg_.box * cfg_.box * cfg_.box;  // mean density 1
+  const double fb = cfg_.hydro ? cfg_.baryon_fraction : 0.0;
+  const double dx = cfg_.box / cfg_.np_side;
+  h0_ = sph::kEta * dx;
+
+  const auto fill_lattice = [&](ParticleSet& p, double offset_cells,
+                                double mass) {
+    p.resize(n);
+    std::size_t i = 0;
+    for (int ix = 0; ix < cfg_.np_side; ++ix) {
+      for (int iy = 0; iy < cfg_.np_side; ++iy) {
+        for (int iz = 0; iz < cfg_.np_side; ++iz, ++i) {
+          p.x[i] = static_cast<float>((ix + 0.5 + offset_cells) * dx);
+          p.y[i] = static_cast<float>((iy + 0.5 + offset_cells) * dx);
+          p.z[i] = static_cast<float>((iz + 0.5 + offset_cells) * dx);
+          p.vx[i] = p.vy[i] = p.vz[i] = 0.f;
+          p.mass[i] = static_cast<float>(mass);
+          p.h[i] = static_cast<float>(h0_);
+          p.V[i] = static_cast<float>(dx * dx * dx);
+          p.u[i] = static_cast<float>(cfg_.u_init);
+        }
+      }
+    }
+  };
+
+  fill_lattice(dm_, 0.0, (1.0 - fb) * m_total / n);
+  if (cfg_.hydro) {
+    fill_lattice(gas_, 0.5, fb * m_total / n);
+  } else {
+    gas_.resize(0);
+  }
+
+  if (cfg_.hydro && gas_.size() > 0 && cfg_.sedov_energy > 0.0) {
+    const util::Vec3d center{0.5 * cfg_.box, 0.5 * cfg_.box, 0.5 * cfg_.box};
+    const double r_dep = 1.5 * dx;
+    std::vector<std::size_t> hot;
+    for (std::size_t i = 0; i < gas_.size(); ++i) {
+      const auto d = sph::min_image(gas_.pos_of(i) - center, cfg_.box);
+      if (norm(d) <= r_dep) hot.push_back(i);
+    }
+    if (hot.empty()) {
+      throw std::logic_error(
+          "Solver::initialize_sedov(): no gas particle within the deposition "
+          "radius — np_side is too small for a Sedov blast");
+    }
+    const double e_per = cfg_.sedov_energy / static_cast<double>(hot.size());
+    for (const std::size_t i : hot) {
+      gas_.u[i] += static_cast<float>(e_per / gas_.mass[i]);
+    }
+  }
 }
 
 void Solver::restore(ParticleSet dm, ParticleSet gas, double scale_factor,
@@ -231,11 +356,18 @@ void Solver::set_time_step(double da) {
 }
 
 void Solver::update_smoothing_lengths() {
-  for (std::size_t i = 0; i < gas_.size(); ++i) {
-    const float h = static_cast<float>(sph::kEta) * std::cbrt(std::max(gas_.V[i], 0.f));
-    gas_.h[i] = std::clamp(h, 0.5f * static_cast<float>(h0_),
-                           2.0f * static_cast<float>(h0_));
-  }
+  // Elementwise with disjoint writes: bit-identical for any thread count.
+  // shared: gas_.h (one slot per iteration), gas_.V (read-only).
+  pool_->parallel_for_chunks(
+      static_cast<std::int64_t>(gas_.size()), 4096,
+      [this](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const float h = static_cast<float>(sph::kEta) *
+                          std::cbrt(std::max(gas_.V[i], 0.f));
+          gas_.h[i] = std::clamp(h, 0.5f * static_cast<float>(h0_),
+                                 2.0f * static_cast<float>(h0_));
+        }
+      });
 }
 
 void Solver::assemble_gravity_inputs() {
@@ -251,127 +383,188 @@ void Solver::assemble_gravity_inputs() {
   grav_ay_.assign(total, 0.f);
   grav_az_.assign(total, 0.f);
   const auto copy_in = [&](const ParticleSet& p, std::size_t base) {
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      grav_pos_[base + i] = p.pos_of(i);
-      grav_mass_d_[base + i] = p.mass[i];
-      grav_x_[base + i] = p.x[i];
-      grav_y_[base + i] = p.y[i];
-      grav_z_[base + i] = p.z[i];
-      grav_mass_[base + i] = p.mass[i];
-    }
+    // Pure per-index gather into disjoint slots: bit-identical for any
+    // thread count.
+    // shared: grav_* scratch (slot base + i owned by iteration i).
+    pool_->parallel_for_chunks(
+        static_cast<std::int64_t>(p.size()), 4096,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t ii = b; ii < e; ++ii) {
+            const std::size_t i = static_cast<std::size_t>(ii);
+            grav_pos_[base + i] = p.pos_of(i);
+            grav_mass_d_[base + i] = p.mass[i];
+            grav_x_[base + i] = p.x[i];
+            grav_y_[base + i] = p.y[i];
+            grav_z_[base + i] = p.z[i];
+            grav_mass_[base + i] = p.mass[i];
+          }
+        });
   };
   copy_in(dm_, 0);
   copy_in(gas_, dm_.size());
 }
 
-void Solver::compute_forces(bool corrector) {
-  // One combined-species gather (dm then gas) feeds the WHOLE evaluation:
-  // the shared interaction domain builds — or Verlet-skin-reuses — exactly
-  // one tree over it, and both the SPH kernels and the short-range gravity
-  // kernels consume species-filtered views of that tree.
-  assemble_gravity_inputs();
+gravity::GravityArrays Solver::gravity_arrays() {
+  return gravity::GravityArrays{grav_x_.data(),    grav_y_.data(),
+                                grav_z_.data(),    grav_mass_.data(),
+                                grav_ax_.data(),   grav_ay_.data(),
+                                grav_az_.data(),   grav_x_.size()};
+}
+
+gravity::PpOptions Solver::pp_options(double g_code) const {
+  gravity::PpOptions ppopt;
+  ppopt.box = static_cast<float>(cfg_.box);
+  ppopt.G = static_cast<float>(g_code);
+  ppopt.softening =
+      static_cast<float>(cfg_.softening_cells * cfg_.box / cfg_.pm_grid);
+  ppopt.variant = cfg_.variants.gravity;
+  ppopt.launch.sub_group_size = cfg_.sub_group_size;
+  ppopt.launch.sg_per_wg = cfg_.sg_per_wg;
+  return ppopt;
+}
+
+void Solver::run_hydro_kernels(bool corrector) {
+  update_smoothing_lengths();
+  const domain::SpeciesView gas_view = domain_->second();
+  // Five kernels consume the same pair set, so walk the tree ONCE into a
+  // scratch whose capacity persists across evaluations (a streamed source
+  // would re-traverse per kernel).  Leaf pairs of the combined tree with
+  // no gas on either side do zero SPH work — drop them here.  Gravity
+  // has a single consumer and streams its pairs without materializing.
+  sph_pairs_scratch_.clear();
   {
+    const obs::TraceSpan span("core.sph_pairs");
+    domain_->for_each_pair(
+        sph::support_cutoff(gas_), [this, &gas_view](const tree::LeafPair& lp) {
+          if (gas_view.leaves[lp.a].count() == 0 ||
+              gas_view.leaves[lp.b].count() == 0) {
+            return;
+          }
+          sph_pairs_scratch_.push_back(lp);
+        });
+  }
+  const domain::PairSource sph_pairs(sph_pairs_scratch_);
+  const auto& v = cfg_.variants;
+  sph::run_geometry(queue_, gas_, gas_view, sph_pairs,
+                    hydro_options(cfg_, v.geometry));
+  sph::run_corrections(queue_, gas_, gas_view, sph_pairs,
+                       hydro_options(cfg_, v.corrections));
+  sph::run_extras(queue_, gas_, gas_view, sph_pairs,
+                  hydro_options(cfg_, v.extras));
+  sph::run_acceleration(queue_, gas_, gas_view, sph_pairs,
+                        hydro_options(cfg_, v.acceleration),
+                        corrector ? "upBarAcF" : "upBarAc");
+  sph::run_energy(queue_, gas_, gas_view, sph_pairs,
+                  hydro_options(cfg_, v.energy),
+                  corrector ? "upBarDuF" : "upBarDu");
+}
+
+void Solver::compute_forces(bool corrector) {
+  // One force evaluation = one propagator graph.  One combined-species
+  // gather (dm then gas) feeds the WHOLE evaluation: the shared interaction
+  // domain builds — or Verlet-skin-reuses — exactly one tree over it, and
+  // both the SPH kernels and the short-range gravity kernels consume
+  // species-filtered views of that tree.
+  //
+  // Stage dependencies (also docs/ARCHITECTURE.md):
+  //
+  //   assemble ──► tree ──► sph ──► [fmm_build ──►] short_range [──► far_field]
+  //       │
+  //       └──────► pm                  (long-range mesh: needs only the gather)
+  //
+  // The pm stage reads grav_pos_/grav_mass_d_ and writes grav_accel_pm_ —
+  // disjoint from everything the chain touches — so with overlap enabled it
+  // runs concurrently with the tree walk and the short-range batch stream.
+  // Declaration order IS today's serial order, so the zero-lane executor
+  // reproduces the pre-propagator step bit-for-bit.
+  sched::TaskGraph graph;
+  const std::size_t s_assemble =
+      graph.add("assemble", {}, [this] { assemble_gravity_inputs(); });
+  const std::size_t s_tree = graph.add("tree", {s_assemble}, [this] {
     util::ScopedTimer t(timers_, t_tree_build_);
     domain_->update(grav_pos_, dm_.size());
-  }
+  });
+  std::size_t chain = s_tree;
 
   // ---- Hydro (baryons) ----
-  if (use_restored_hydro_forces_) {
+  const bool restored = use_restored_hydro_forces_;
+  if (restored) {
     // Restart: the checkpointed kernel outputs stand in for this evaluation.
     use_restored_hydro_forces_ = false;
   } else if (cfg_.hydro && gas_.size() > 0) {
-    update_smoothing_lengths();
-    const domain::SpeciesView gas_view = domain_->second();
-    // Five kernels consume the same pair set, so walk the tree ONCE into a
-    // scratch whose capacity persists across evaluations (a streamed source
-    // would re-traverse per kernel).  Leaf pairs of the combined tree with
-    // no gas on either side do zero SPH work — drop them here.  Gravity
-    // below has a single consumer and streams its pairs without
-    // materializing.
-    sph_pairs_scratch_.clear();
-    {
-      const obs::TraceSpan span("core.sph_pairs");
-      domain_->for_each_pair(
-          sph::support_cutoff(gas_), [this, &gas_view](const tree::LeafPair& lp) {
-            if (gas_view.leaves[lp.a].count() == 0 ||
-                gas_view.leaves[lp.b].count() == 0) {
-              return;
-            }
-            sph_pairs_scratch_.push_back(lp);
-          });
-    }
-    const domain::PairSource sph_pairs(sph_pairs_scratch_);
-    const auto& v = cfg_.variants;
-    sph::run_geometry(queue_, gas_, gas_view, sph_pairs,
-                      hydro_options(cfg_, v.geometry));
-    sph::run_corrections(queue_, gas_, gas_view, sph_pairs,
-                         hydro_options(cfg_, v.corrections));
-    sph::run_extras(queue_, gas_, gas_view, sph_pairs,
-                    hydro_options(cfg_, v.extras));
-    sph::run_acceleration(queue_, gas_, gas_view, sph_pairs,
-                          hydro_options(cfg_, v.acceleration),
-                          corrector ? "upBarAcF" : "upBarAc");
-    sph::run_energy(queue_, gas_, gas_view, sph_pairs,
-                    hydro_options(cfg_, v.energy),
-                    corrector ? "upBarDuF" : "upBarDu");
+    chain = graph.add("sph", {chain},
+                      [this, corrector] { run_hydro_kernels(corrector); });
   }
 
   // ---- Gravity (both species): Poisson constant 4 pi G = 3/2 Omega_m / (a rhobar),
   // with rhobar = 1 by the mass normalization. ----
   const double g_code = 3.0 * cfg_.cosmo.omega_m / (8.0 * M_PI * a_);
-  if (pm_) {
-    const obs::TraceSpan span("gravity.pm");
-    util::ScopedTimer t(timers_, t_grav_pm_);
-    pm_->set_gravitational_constant(g_code);
-    pm_->compute_forces(grav_pos_, grav_mass_d_, grav_accel_pm_);
-  } else {
-    std::fill(grav_accel_pm_.begin(), grav_accel_pm_.end(), util::Vec3d{});
-  }
+  graph.add("pm", {s_assemble}, [this, g_code] {
+    if (pm_) {
+      const obs::TraceSpan span("gravity.pm");
+      util::ScopedTimer t(timers_, t_grav_pm_);
+      pm_->set_gravitational_constant(g_code);
+      pm_->compute_forces(grav_pos_, grav_mass_d_, grav_accel_pm_);
+    } else {
+      std::fill(grav_accel_pm_.begin(), grav_accel_pm_.end(), util::Vec3d{});
+    }
+  });
 
-  const gravity::GravityArrays arrays{grav_x_.data(),  grav_y_.data(),  grav_z_.data(),
-                                      grav_mass_.data(), grav_ax_.data(), grav_ay_.data(),
-                                      grav_az_.data(),  grav_x_.size()};
-  gravity::PpOptions ppopt;
-  ppopt.box = static_cast<float>(cfg_.box);
-  ppopt.G = static_cast<float>(g_code);
-  ppopt.softening = static_cast<float>(cfg_.softening_cells * cfg_.box / cfg_.pm_grid);
-  ppopt.variant = cfg_.variants.gravity;
-  ppopt.launch.sub_group_size = cfg_.sub_group_size;
-  ppopt.launch.sg_per_wg = cfg_.sg_per_wg;
-
+  // Stage bodies run inside exec_->run() below, so stack locals shared by
+  // the fmm stages stay alive for the whole graph.
+  std::optional<fmm::FmmEvaluator> evaluator;
+  fmm::InteractionLists lists;
   if (cfg_.gravity_backend == GravityBackend::kPmPp) {
-    const obs::TraceSpan span("gravity.pp");
-    util::ScopedTimer t(timers_, t_grav_pp_);
-    run_pp_short(queue_, arrays, domain_->all(),
-                 domain_->pairs(poly_->r_cut()), *poly_, ppopt);
+    graph.add("short_range", {chain}, [this, g_code] {
+      const obs::TraceSpan span("gravity.pp");
+      util::ScopedTimer t(timers_, t_grav_pp_);
+      run_pp_short(queue_, gravity_arrays(), domain_->all(),
+                   domain_->pairs(poly_->r_cut()), *poly_, pp_options(g_code));
+    });
   } else {
     const bool treepm = cfg_.gravity_backend == GravityBackend::kTreePm;
-    const double r_cut =
-        treepm ? poly_->r_cut() : std::numeric_limits<double>::infinity();
-    std::optional<fmm::FmmEvaluator> evaluator;
-    fmm::InteractionLists lists;
-    {
+    const std::size_t s_fmm = graph.add("fmm_build", {chain}, [this, treepm,
+                                                              &evaluator,
+                                                              &lists] {
+      const double r_cut =
+          treepm ? poly_->r_cut() : std::numeric_limits<double>::infinity();
       const obs::TraceSpan span("gravity.fmm");
       util::ScopedTimer t(timers_, t_grav_fmm_);
       evaluator.emplace(domain_->tree(), grav_pos_, grav_mass_d_, *pool_);
       lists = evaluator->build_interactions(cfg_.fmm_theta, r_cut);
-    }
-    {
-      const obs::TraceSpan span("gravity.pp");
-      util::ScopedTimer t(timers_, t_grav_pp_);
-      run_pp_short(queue_, arrays, domain_->all(), lists.near, *poly_, ppopt);
-    }
-    {
+    });
+    const std::size_t s_short =
+        graph.add("short_range", {s_fmm}, [this, g_code, &lists] {
+          const obs::TraceSpan span("gravity.pp");
+          util::ScopedTimer t(timers_, t_grav_pp_);
+          run_pp_short(queue_, gravity_arrays(), domain_->all(), lists.near,
+                       *poly_, pp_options(g_code));
+        });
+    graph.add("far_field", {s_short}, [this, g_code, treepm, &evaluator,
+                                       &lists] {
       const obs::TraceSpan span("gravity.far");
       util::ScopedTimer t(timers_, t_grav_far_);
       fmm::FarOptions fopt;
       fopt.box = cfg_.box;
       fopt.G = g_code;
-      fopt.softening = ppopt.softening;
+      fopt.softening =
+          static_cast<float>(cfg_.softening_cells * cfg_.box / cfg_.pm_grid);
       fopt.poly = treepm ? poly_.get() : nullptr;
-      evaluator->evaluate_far(lists, arrays, fopt, &fmm_ops_);
+      evaluator->evaluate_far(lists, gravity_arrays(), fopt, &fmm_ops_);
+    });
+  }
+
+  const sched::RunResult result = exec_->run(graph);
+  for (const sched::StageTiming& t : result.stages) {
+    if (!t.ran) continue;
+    if (t.name == "pm") {
+      pm_seconds_total_ += t.wall_seconds();
+    } else if (t.name == "sph" || t.name == "fmm_build" ||
+               t.name == "short_range" || t.name == "far_field") {
+      short_seconds_total_ += t.wall_seconds();
     }
   }
+  overlap_seconds_total_ += result.overlap_seconds();
   forces_ready_ = true;
 }
 
@@ -387,21 +580,30 @@ std::vector<util::Vec3d> Solver::gravity_accelerations() const {
 void Solver::kick(double k_factor, double a_for_grav) {
   // Gravity: dv/dt = F/a; hydro: dv/dt = a_hydro; energy: du/dt from kernel.
   const auto apply = [&](ParticleSet& p, std::size_t grav_base, bool hydro) {
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      const std::size_t g = grav_base + i;
-      double axt = (grav_accel_pm_[g].x + grav_ax_[g]) / a_for_grav;
-      double ayt = (grav_accel_pm_[g].y + grav_ay_[g]) / a_for_grav;
-      double azt = (grav_accel_pm_[g].z + grav_az_[g]) / a_for_grav;
-      if (hydro) {
-        axt += p.ax[i];
-        ayt += p.ay[i];
-        azt += p.az[i];
-        p.u[i] = std::max(0.f, p.u[i] + static_cast<float>(p.du[i] * k_factor));
-      }
-      p.vx[i] += static_cast<float>(axt * k_factor);
-      p.vy[i] += static_cast<float>(ayt * k_factor);
-      p.vz[i] += static_cast<float>(azt * k_factor);
-    }
+    // Pure per-particle update with disjoint writes: bit-identical for any
+    // thread count (the kick/drift determinism promise in CONCURRENCY.md).
+    // shared: p velocity/energy slots (one per iteration), grav_* read-only.
+    pool_->parallel_for_chunks(
+        static_cast<std::int64_t>(p.size()), 4096,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t ii = b; ii < e; ++ii) {
+            const std::size_t i = static_cast<std::size_t>(ii);
+            const std::size_t g = grav_base + i;
+            double axt = (grav_accel_pm_[g].x + grav_ax_[g]) / a_for_grav;
+            double ayt = (grav_accel_pm_[g].y + grav_ay_[g]) / a_for_grav;
+            double azt = (grav_accel_pm_[g].z + grav_az_[g]) / a_for_grav;
+            if (hydro) {
+              axt += p.ax[i];
+              ayt += p.ay[i];
+              azt += p.az[i];
+              p.u[i] = std::max(
+                  0.f, p.u[i] + static_cast<float>(p.du[i] * k_factor));
+            }
+            p.vx[i] += static_cast<float>(axt * k_factor);
+            p.vy[i] += static_cast<float>(ayt * k_factor);
+            p.vz[i] += static_cast<float>(azt * k_factor);
+          }
+        });
   };
   apply(dm_, 0, false);
   apply(gas_, dm_.size(), cfg_.hydro);
@@ -418,15 +620,23 @@ void Solver::drift(double a0, double a1) {
   const float drag = static_cast<float>(a0 / a1);
   const float cool = static_cast<float>(std::pow(a0 / a1, 3.0 * (sph::kGamma - 1.0)));
   const auto apply = [&](ParticleSet& p, bool hydro) {
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      p.x[i] = wrap(p.x[i] + static_cast<float>(p.vx[i] * dtau));
-      p.y[i] = wrap(p.y[i] + static_cast<float>(p.vy[i] * dtau));
-      p.z[i] = wrap(p.z[i] + static_cast<float>(p.vz[i] * dtau));
-      p.vx[i] *= drag;
-      p.vy[i] *= drag;
-      p.vz[i] *= drag;
-      if (hydro) p.u[i] *= cool;
-    }
+    // Pure per-particle update with disjoint writes: bit-identical for any
+    // thread count (the kick/drift determinism promise in CONCURRENCY.md).
+    // shared: p position/velocity/energy slots (one per iteration).
+    pool_->parallel_for_chunks(
+        static_cast<std::int64_t>(p.size()), 4096,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t ii = b; ii < e; ++ii) {
+            const std::size_t i = static_cast<std::size_t>(ii);
+            p.x[i] = wrap(p.x[i] + static_cast<float>(p.vx[i] * dtau));
+            p.y[i] = wrap(p.y[i] + static_cast<float>(p.vy[i] * dtau));
+            p.z[i] = wrap(p.z[i] + static_cast<float>(p.vz[i] * dtau));
+            p.vx[i] *= drag;
+            p.vy[i] *= drag;
+            p.vz[i] *= drag;
+            if (hydro) p.u[i] *= cool;
+          }
+        });
   };
   apply(dm_, false);
   apply(gas_, cfg_.hydro);
@@ -441,6 +651,9 @@ StepStats Solver::step() {
   const double t0 = util::wtime();
   const domain::DomainStats dom0 = domain_->stats();
   const double tree_t0 = timers_.seconds("tree_build");
+  const double pm_t0 = pm_seconds_total_;
+  const double short_t0 = short_seconds_total_;
+  const double overlap_t0 = overlap_seconds_total_;
   if (!forces_ready_) compute_forces(false);
   const double a0 = a_;
   const double a1 = a_ + da_;
@@ -474,6 +687,9 @@ StepStats Solver::step() {
   stats.tree_builds = static_cast<int>(domain_->stats().builds - dom0.builds);
   stats.tree_reuses = static_cast<int>(domain_->stats().reuses - dom0.reuses);
   stats.tree_seconds = timers_.seconds("tree_build") - tree_t0;
+  stats.pm_seconds = pm_seconds_total_ - pm_t0;
+  stats.short_range_seconds = short_seconds_total_ - short_t0;
+  stats.overlap_seconds = overlap_seconds_total_ - overlap_t0;
   const auto tally = [&stats](const ParticleSet& p, bool hydro) {
     for (std::size_t i = 0; i < p.size(); ++i) {
       const double m = p.mass[i];

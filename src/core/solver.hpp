@@ -28,6 +28,7 @@
 #include "ic/cosmology.hpp"
 #include "ic/power_spectrum.hpp"
 #include "ic/zeldovich.hpp"
+#include "sched/task_graph.hpp"
 #include "sph/pipeline.hpp"
 #include "util/timer.hpp"
 #include "xsycl/queue.hpp"
@@ -69,6 +70,35 @@ const char* to_string(GravityBackend backend);
 /// unknown names — the util::Config wiring used by examples and tools.
 bool parse_gravity_backend(const std::string& name, GravityBackend& out);
 
+/// Stage-overlap policy for the step propagator (config key sched.overlap):
+///   - `kAuto` — overlap iff the pool has more than one worker (the default:
+///               a 1-thread run stays strictly serial, so it is bit-identical
+///               to the pre-propagator code and serves as the determinism
+///               oracle).
+///   - `kOn`   — always run the long-range PM stage concurrently with the
+///               tree/SPH/short-range chain.
+///   - `kOff`  — strictly serial declaration-order execution.
+enum class OverlapMode { kAuto, kOn, kOff };
+
+/// The config-key spelling of a mode ("auto" | "on" | "off").
+const char* to_string(OverlapMode mode);
+
+/// Parses "auto" | "on" | "off"; returns false (out untouched) otherwise.
+bool parse_overlap_mode(const std::string& name, OverlapMode& out);
+
+/// Initial-condition family (config key ic.kind):
+///   - `kZeldovich` — cosmological Zel'dovich displacements (the default).
+///   - `kSedov`     — unperturbed lattice at rest with the Sedov–Taylor
+///                    blast energy deposited thermally at the box center
+///                    (the analytic-oracle scenario; docs/PHYSICS checks).
+enum class InitialConditions { kZeldovich, kSedov };
+
+/// The config-key spelling of an IC family ("zeldovich" | "sedov").
+const char* to_string(InitialConditions ic);
+
+/// Parses "zeldovich" | "sedov"; returns false (out untouched) otherwise.
+bool parse_initial_conditions(const std::string& name, InitialConditions& out);
+
 /// Full simulation configuration: problem size, cosmology, gravity solver
 /// selection, and the per-kernel execution knobs of the portability study.
 /// Every field maps to a config key documented in docs/CONFIG.md.
@@ -90,6 +120,14 @@ struct SimConfig {
   bool hydro = true;              ///< evolve a baryon species with CRK-SPH
   double baryon_fraction = 0.15;  ///< mass fraction in the baryon species
   double u_init = 1e-4;           ///< initial specific internal energy
+
+  /// IC family (config key ic.kind).  Physics-affecting: both fields below
+  /// are part of config_signature().
+  InitialConditions ic_kind = InitialConditions::kZeldovich;
+  /// Blast energy for `kSedov`, deposited as thermal energy into the gas
+  /// particles within ~1.5 lattice spacings of the box center (config key
+  /// ic.sedov_energy; ignored for Zel'dovich ICs).
+  double sedov_energy = 1.0;
 
   int pm_grid = 32;  ///< PM mesh cells per side (power of two)
   /// PM force derivation (config key gravity.pm_gradient): "spectral" is the
@@ -115,6 +153,12 @@ struct SimConfig {
   /// config_signature() and may change across a restart.
   double domain_skin = 0.0;  ///< Verlet skin; reuse while drift <= skin / 2
   domain::RebuildPolicy domain_rebuild = domain::RebuildPolicy::kAlways;
+
+  /// Step-propagator stage overlap (config key sched.overlap).  Execution
+  /// tuning, not physics: the stage graph's dependency edges cover every
+  /// read-after-write, so overlap changes wall-clock only — like `variants`
+  /// it is excluded from config_signature().
+  OverlapMode sched_overlap = OverlapMode::kAuto;
 };
 
 /// Hash of every physics-affecting SimConfig field (particle counts, box,
@@ -142,6 +186,13 @@ struct StepStats {
   int tree_builds = 0;           ///< shared-domain tree rebuilds this step
   int tree_reuses = 0;           ///< Verlet-skin reuses this step
   double tree_seconds = 0.0;     ///< wall seconds in tree build/refresh
+  double pm_seconds = 0.0;       ///< wall seconds in the propagator's pm stage
+  /// Wall seconds in the tree-walk chain stages (sph + fmm build +
+  /// short-range P-P + far field).
+  double short_range_seconds = 0.0;
+  /// Wall-clock won by stage overlap this step: the back-to-back sum of
+  /// stage walls minus the actual graph walls (zero when running serially).
+  double overlap_seconds = 0.0;
 };
 
 /// The time integrator.  Lifecycle: construct, then exactly one of
@@ -218,6 +269,11 @@ class Solver {
   /// Far-field M2P work performed by the fmm/treepm backends so far.
   const xsycl::OpCounters& fmm_ops() const { return fmm_ops_; }
 
+  /// True when the step propagator runs the PM stage concurrently with the
+  /// tree/SPH/short-range chain (resolved from SimConfig::sched_overlap and
+  /// the pool size at construction).
+  bool overlap_enabled() const { return overlap_enabled_; }
+
   /// The shared interaction domain: one tree build (or Verlet-skin reuse)
   /// per force evaluation, consumed by SPH and gravity alike.
   const domain::InteractionDomain& interaction_domain() const {
@@ -237,7 +293,12 @@ class Solver {
 
  private:
   void compute_forces(bool corrector);
+  void run_hydro_kernels(bool corrector);
+  void initialize_zeldovich();
+  void initialize_sedov();
   void assemble_gravity_inputs();
+  gravity::GravityArrays gravity_arrays();
+  gravity::PpOptions pp_options(double g_code) const;
   void kick(double k_factor, double a_for_grav);
   void drift(double a0, double a1);
   void update_smoothing_lengths();
@@ -288,6 +349,19 @@ class Solver {
   std::unique_ptr<gravity::PolyShortForce> poly_;
   std::unique_ptr<domain::InteractionDomain> domain_;
   xsycl::OpCounters fmm_ops_;
+
+  // The step propagator: each force evaluation is a named-stage task graph
+  // (assemble → tree → sph → short-range chain, with the long-range pm stage
+  // hanging off assemble alone) run by this executor.  With overlap enabled
+  // the executor owns one lane thread, so pm executes concurrently with the
+  // chain; otherwise zero lanes — strict declaration-order serial execution,
+  // bit-identical to the pre-propagator code path.
+  std::unique_ptr<sched::StageExecutor> exec_;
+  bool overlap_enabled_ = false;
+  // Cumulative propagator stage walls; step() diffs them like tree_seconds.
+  double pm_seconds_total_ = 0.0;
+  double short_seconds_total_ = 0.0;
+  double overlap_seconds_total_ = 0.0;
 };
 
 }  // namespace hacc::core

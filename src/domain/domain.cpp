@@ -111,7 +111,10 @@ bool InteractionDomain::update(std::span<const Vec3d> pos,
 void InteractionDomain::rebuild(std::span<const Vec3d> pos,
                                 std::size_t n_first) {
   const obs::TraceSpan span("domain.build");
-  tree_ = std::make_unique<tree::RcbTree>(pos, opt_.box, opt_.leaf_size);
+  tree_ = opt_.pool != nullptr
+              ? std::make_unique<tree::RcbTree>(pos, opt_.box, opt_.leaf_size,
+                                                *opt_.pool)
+              : std::make_unique<tree::RcbTree>(pos, opt_.box, opt_.leaf_size);
   n_ = pos.size();
   n_first_ = n_first;
   if (opt_.rebuild == RebuildPolicy::kDisplacement) {

@@ -30,6 +30,10 @@
 #include "tree/rcb.hpp"
 #include "util/vec3.hpp"
 
+namespace hacc::util {
+class ThreadPool;
+}  // namespace hacc::util
+
 namespace hacc::domain {
 
 /// When the shared tree is rebuilt:
@@ -54,6 +58,10 @@ struct DomainOptions {
   int leaf_size = 32;  ///< RCB leaf capacity
   double skin = 0.0;   ///< Verlet skin; reuse while max drift <= skin / 2
   RebuildPolicy rebuild = RebuildPolicy::kAlways;
+  /// When set, tree builds/refreshes run level-parallel on this pool
+  /// (bit-identical to the serial path for any thread count — see
+  /// tree/rcb.hpp).  Must outlive the domain.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Lifetime counters, exposed so solvers can report per-step tree work.

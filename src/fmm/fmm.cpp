@@ -45,15 +45,38 @@ FmmEvaluator::FmmEvaluator(const RcbTree& tree, std::span<const Vec3d> pos,
     multipoles_[leaf_nodes[k]] = mp;
   });
 
-  for (std::int32_t n = static_cast<std::int32_t>(nodes.size()) - 1; n >= 0; --n) {
+  // M2M level-parallel, deepest level first.  Depths come from a forward
+  // scan (children carry larger indices than their parent, so the parent's
+  // depth is always set first).  A node's multipole depends only on its two
+  // children's — complete once all deeper levels are done — and the l-then-r
+  // accumulation order is fixed, so the result is bit-identical to the
+  // serial reverse-index sweep for any thread count.
+  std::vector<int> depth(nodes.size(), 0);
+  int max_depth = 0;
+  for (std::int32_t n = 0; n < static_cast<std::int32_t>(nodes.size()); ++n) {
     if (nodes[n].is_leaf()) continue;
-    const Multipole& l = multipoles_[nodes[n].left];
-    const Multipole& r = multipoles_[nodes[n].right];
-    Multipole mp;
-    mp.com = combined_com(l, r);
-    m2m_accumulate(mp, l);
-    m2m_accumulate(mp, r);
-    multipoles_[n] = mp;
+    depth[nodes[n].left] = depth[n] + 1;
+    depth[nodes[n].right] = depth[n] + 1;
+    max_depth = std::max(max_depth, depth[n] + 1);
+  }
+  std::vector<std::vector<std::int32_t>> levels(max_depth + 1);
+  for (std::int32_t n = 0; n < static_cast<std::int32_t>(nodes.size()); ++n) {
+    if (!nodes[n].is_leaf()) levels[depth[n]].push_back(n);
+  }
+  for (std::int32_t d = max_depth; d >= 0; --d) {
+    const auto& level = levels[d];
+    // shared: multipoles_ — each iteration owns one internal node's slot and
+    // only reads children finalized by deeper levels.
+    pool.parallel_for(static_cast<std::int64_t>(level.size()), [&](std::int64_t k) {
+      const std::int32_t n = level[static_cast<std::size_t>(k)];
+      const Multipole& l = multipoles_[nodes[n].left];
+      const Multipole& r = multipoles_[nodes[n].right];
+      Multipole mp;
+      mp.com = combined_com(l, r);
+      m2m_accumulate(mp, l);
+      m2m_accumulate(mp, r);
+      multipoles_[n] = mp;
+    });
   }
 }
 

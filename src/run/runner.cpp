@@ -50,6 +50,9 @@ ScenarioRunner::ScenarioRunner(const core::SimConfig& sim, const RunOptions& opt
   m_tree_builds_ = m.counter("tree.builds");
   m_tree_reuses_ = m.counter("tree.reuses");
   m_tree_s_ = m.counter("tree.build_s");
+  m_sched_pm_s_ = m.counter("sched.pm_s");
+  m_sched_short_s_ = m.counter("sched.short_s");
+  m_sched_overlap_s_ = m.counter("sched.overlap_s");
   m_step_wall_s_ = m.histogram("step.wall_s");
   m_step_da_ = m.histogram("step.da");
   m_ops_launches_ = m.counter("ops.launches");
@@ -376,6 +379,9 @@ void ScenarioRunner::record_step_metrics(const core::StepStats& stats) {
   m.inc(m_tree_builds_, stats.tree_builds);
   m.inc(m_tree_reuses_, stats.tree_reuses);
   m.inc(m_tree_s_, stats.tree_seconds);
+  m.inc(m_sched_pm_s_, stats.pm_seconds);
+  m.inc(m_sched_short_s_, stats.short_range_seconds);
+  m.inc(m_sched_overlap_s_, stats.overlap_seconds);
   m.record(m_step_wall_s_, stats.wall_seconds);
   m.record(m_step_da_, stats.da);
   m.set(m_stepctl_da_, stats.da);

@@ -163,6 +163,9 @@ class ScenarioRunner {
   obs::MetricsRegistry::Handle m_tree_builds_;
   obs::MetricsRegistry::Handle m_tree_reuses_;
   obs::MetricsRegistry::Handle m_tree_s_;
+  obs::MetricsRegistry::Handle m_sched_pm_s_;       // counter: pm stage wall
+  obs::MetricsRegistry::Handle m_sched_short_s_;    // counter: chain stages wall
+  obs::MetricsRegistry::Handle m_sched_overlap_s_;  // counter: wall won by overlap
   obs::MetricsRegistry::Handle m_step_wall_s_;  // histogram
   obs::MetricsRegistry::Handle m_step_da_;      // histogram
   obs::MetricsRegistry::Handle m_ops_launches_;

@@ -1,0 +1,227 @@
+#include "sched/task_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace hacc::sched {
+
+namespace {
+
+bool lint_shaped(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.front() < 'a' || name.front() > 'z') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// The stage's trace-span name ("sched.<stage>"), interned only while the
+// tracer is actually recording; TraceSpan treats nullptr as an explicit
+// no-op, so the disabled path allocates nothing.
+const char* span_name(const std::string& stage_name) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) return nullptr;
+  return tracer.intern("sched." + stage_name);
+}
+
+}  // namespace
+
+double RunResult::overlap_seconds() const {
+  double sum = 0.0;
+  for (const StageTiming& t : stages) {
+    if (t.ran) sum += t.wall_seconds();
+  }
+  return std::max(0.0, sum - wall_seconds);
+}
+
+std::size_t TaskGraph::add(std::string name, std::vector<std::size_t> deps,
+                           std::function<void()> body) {
+  if (!lint_shaped(name)) {
+    throw std::invalid_argument(
+        "TaskGraph::add(): stage name must match [a-z][a-z0-9_]* (it becomes "
+        "the sched.<name> trace span), got '" + name + "'");
+  }
+  const std::size_t self = stages_.size();
+  for (const std::size_t d : deps) {
+    if (d >= self) {
+      throw std::invalid_argument(
+          "TaskGraph::add(): stage '" + name + "' depends on index " +
+          std::to_string(d) + ", but only earlier stages (< " +
+          std::to_string(self) + ") may be dependencies");
+    }
+  }
+  if (body == nullptr) {
+    throw std::invalid_argument("TaskGraph::add(): stage '" + name +
+                                "' has an empty body");
+  }
+  stages_.push_back(Stage{std::move(name), std::move(deps), std::move(body)});
+  return self;
+}
+
+StageExecutor::RunState::RunState(const TaskGraph& g)
+    : graph(&g),
+      dependents(g.size()),
+      status(g.size(), Status::kBlocked),
+      waiting(g.size(), 0),
+      poisoned(g.size(), false),
+      errors(g.size()),
+      timings(g.size()) {
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Stage& s = g.stages()[i];
+    timings[i].name = s.name;
+    waiting[i] = static_cast<int>(s.deps.size());
+    if (s.deps.empty()) status[i] = Status::kReady;
+    for (const std::size_t d : s.deps) dependents[d].push_back(i);
+  }
+}
+
+StageExecutor::StageExecutor(unsigned lanes) {
+  lanes_.reserve(lanes);
+  for (unsigned i = 0; i < lanes; ++i) {
+    lanes_.emplace_back([this, i] { lane_loop(i); });
+  }
+}
+
+StageExecutor::~StageExecutor() {
+  {
+    util::MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_state_.notify_all();
+  for (auto& t : lanes_) t.join();
+}
+
+RunResult StageExecutor::run_serial(const TaskGraph& graph, double t_start) {
+  RunResult result;
+  result.stages.reserve(graph.size());
+  for (const Stage& s : graph.stages()) {
+    result.stages.push_back(StageTiming{s.name, 0.0, 0.0, false});
+  }
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const Stage& s = graph.stages()[i];
+    StageTiming& t = result.stages[i];
+    const obs::TraceSpan span(span_name(s.name));
+    t.t0 = util::wtime();
+    s.body();  // a throw propagates immediately, like inline serial code
+    t.t1 = util::wtime();
+    t.ran = true;
+  }
+  result.wall_seconds = util::wtime() - t_start;
+  return result;
+}
+
+RunResult StageExecutor::run(const TaskGraph& graph) {
+  const double t_start = util::wtime();
+  if (lanes_.empty() || graph.empty()) return run_serial(graph, t_start);
+
+  RunState rs(graph);
+  {
+    util::MutexLock lock(mu_);
+    if (run_ != nullptr) {
+      throw std::logic_error(
+          "StageExecutor::run(): an executor drives one graph at a time");
+    }
+    run_ = &rs;
+  }
+  cv_state_.notify_all();
+
+  // The caller participates until every stage settled.
+  for (;;) {
+    std::size_t idx = kNone;
+    {
+      util::MutexLock lock(mu_);
+      while (rs.settled < graph.size() &&
+             (idx = claim_locked(rs)) == kNone) {
+        cv_state_.wait(lock);
+      }
+      if (idx == kNone) run_ = nullptr;  // all settled — unpublish
+    }
+    if (idx == kNone) break;
+    execute_stage(rs, idx);
+  }
+
+  RunResult result;
+  result.stages = std::move(rs.timings);
+  result.wall_seconds = util::wtime() - t_start;
+  for (const std::exception_ptr& err : rs.errors) {
+    if (err != nullptr) std::rethrow_exception(err);
+  }
+  return result;
+}
+
+void StageExecutor::lane_loop(unsigned lane_index) {
+  obs::Tracer::global().set_thread_name("sched-" + std::to_string(lane_index));
+  for (;;) {
+    RunState* rs = nullptr;
+    std::size_t idx = kNone;
+    {
+      util::MutexLock lock(mu_);
+      for (;;) {
+        if (stop_) return;
+        rs = run_;
+        if (rs != nullptr && (idx = claim_locked(*rs)) != kNone) break;
+        cv_state_.wait(lock);
+      }
+    }
+    execute_stage(*rs, idx);
+  }
+}
+
+std::size_t StageExecutor::claim_locked(RunState& rs) {
+  for (std::size_t i = 0; i < rs.status.size(); ++i) {
+    if (rs.status[i] == Status::kReady) {
+      rs.status[i] = Status::kRunning;
+      return i;
+    }
+  }
+  return kNone;
+}
+
+void StageExecutor::execute_stage(RunState& rs, std::size_t idx) {
+  const Stage& s = rs.graph->stages()[idx];
+  StageTiming& t = rs.timings[idx];
+  std::exception_ptr err;
+  {
+    const obs::TraceSpan span(span_name(s.name));
+    t.t0 = util::wtime();
+    try {
+      s.body();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    t.t1 = util::wtime();
+    t.ran = true;
+  }
+  {
+    util::MutexLock lock(mu_);
+    rs.errors[idx] = err;
+    settle_locked(rs, idx, err != nullptr);
+  }
+  cv_state_.notify_all();
+}
+
+void StageExecutor::settle_locked(RunState& rs, std::size_t idx, bool failed) {
+  rs.status[idx] = failed ? Status::kFailed
+                          : (rs.status[idx] == Status::kRunning
+                                 ? Status::kDone
+                                 : Status::kSkipped);
+  ++rs.settled;
+  for (const std::size_t d : rs.dependents[idx]) {
+    if (failed || rs.status[idx] == Status::kSkipped) rs.poisoned[d] = true;
+    if (--rs.waiting[d] == 0) {
+      if (rs.poisoned[d]) {
+        // Never ran: settle as skipped and poison downstream in turn.
+        settle_locked(rs, d, false);
+      } else {
+        rs.status[d] = Status::kReady;
+      }
+    }
+  }
+}
+
+}  // namespace hacc::sched

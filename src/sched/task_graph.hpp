@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file
+/// The step propagator: a tiny deterministic task graph (SPH-EXA's
+/// ipropagator pattern).  A `TaskGraph` is a list of named stages added in
+/// topological order — each stage may only depend on stages added before it,
+/// so the graph is acyclic by construction and the declaration order is
+/// always a valid serial schedule.  A `StageExecutor` runs a graph either
+/// serially (zero lanes: stages execute on the caller in declaration order,
+/// exactly the pre-propagator code path) or overlapped (N persistent lane
+/// threads plus the caller pick ready stages lowest-index-first), records a
+/// `sched.<stage>` trace span and wall-clock timing per stage, and reports
+/// the overlap won versus a back-to-back schedule.
+///
+/// Determinism contract: with zero lanes nothing runs concurrently and the
+/// execution order is the declaration order — bit-identical to calling the
+/// stage bodies inline.  With lanes, stages whose bodies are themselves
+/// deterministic produce the same results in any interleaving because the
+/// graph's dependency edges are the only data flow between stages (the
+/// builder must declare an edge for every read-after-write).
+///
+/// Concurrency (docs/CONCURRENCY.md): run() is single-driver — one run at a
+/// time per executor, enforced with std::logic_error.  Stage bodies may
+/// freely submit to a shared util::ThreadPool; lane threads blocked inside a
+/// pool barrier participate in that pool's chunk loop like any submitter.
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace hacc::sched {
+
+/// One named unit of step work.  `deps` are indices of earlier stages that
+/// must settle before this one may start.
+struct Stage {
+  std::string name;               ///< lint-shaped: [a-z][a-z0-9_]*
+  std::vector<std::size_t> deps;  ///< all < this stage's own index
+  std::function<void()> body;
+};
+
+/// Per-stage wall-clock record from one run.
+struct StageTiming {
+  std::string name;
+  double t0 = 0.0;   ///< util::wtime() at body start (0 when never started)
+  double t1 = 0.0;   ///< util::wtime() at body end
+  bool ran = false;  ///< body executed (false: skipped after a failed dep)
+
+  double wall_seconds() const { return t1 - t0; }
+};
+
+/// What one run() did: per-stage timings plus the whole-graph wall.
+struct RunResult {
+  std::vector<StageTiming> stages;
+  double wall_seconds = 0.0;
+
+  /// Wall-clock won by overlap: the back-to-back sum of stage walls minus
+  /// the actual graph wall, clamped at zero.  Zero for serial execution.
+  double overlap_seconds() const;
+};
+
+/// Builder + container for the stage list.  add() validates the stage name
+/// shape and that every dependency points at an earlier stage; both throw
+/// std::invalid_argument.
+class TaskGraph {
+ public:
+  /// Appends a stage and returns its index (usable as a dependency of later
+  /// stages).
+  std::size_t add(std::string name, std::vector<std::size_t> deps,
+                  std::function<void()> body);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  std::size_t size() const { return stages_.size(); }
+  bool empty() const { return stages_.empty(); }
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+/// Runs TaskGraphs.  Construct once with the lane count and reuse across
+/// steps: lanes are persistent threads (named "sched-<i>" in trace exports)
+/// that sleep between runs.
+class StageExecutor {
+ public:
+  /// `lanes` extra threads.  Zero lanes = strictly serial declaration-order
+  /// execution on the caller (no threads are created at all).
+  explicit StageExecutor(unsigned lanes);
+  ~StageExecutor();
+
+  StageExecutor(const StageExecutor&) = delete;
+  StageExecutor& operator=(const StageExecutor&) = delete;
+
+  unsigned lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+  /// Executes every stage, respecting dependencies; the caller participates.
+  /// A stage body that throws marks its transitive dependents skipped
+  /// (StageTiming::ran == false); after the graph settles the first failure
+  /// in declaration order is rethrown.  With zero lanes a throw propagates
+  /// immediately — identical to inline serial code.
+  RunResult run(const TaskGraph& graph);
+
+ private:
+  enum class Status : std::uint8_t {
+    kBlocked,  // dependencies outstanding
+    kReady,    // claimable
+    kRunning,  // body executing on some thread
+    kDone,     // body finished cleanly
+    kSkipped,  // a (transitive) dependency failed
+    kFailed,   // body threw
+  };
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // Per-run shared state, stack-allocated in run() and published to lanes
+  // via run_.  status/waiting/poisoned/settled/errors are guarded by the
+  // executor's mu_ (inexpressible as HACC_GUARDED_BY from a nested struct —
+  // same convention as ThreadPool::Job, exercised by the TSan CI job);
+  // timings[i] is written only by the thread running stage i.
+  struct RunState {
+    explicit RunState(const TaskGraph& g);
+
+    const TaskGraph* graph;
+    std::vector<std::vector<std::size_t>> dependents;
+    std::vector<Status> status;
+    std::vector<int> waiting;        // unsettled dependency count
+    std::vector<bool> poisoned;      // some dependency failed or was skipped
+    std::vector<std::exception_ptr> errors;
+    std::vector<StageTiming> timings;
+    std::size_t settled = 0;         // stages done + skipped + failed
+  };
+
+  RunResult run_serial(const TaskGraph& graph, double t_start);
+  void lane_loop(unsigned lane_index);
+  // Lowest-index ready stage, marked kRunning before return; kNone if none.
+  std::size_t claim_locked(RunState& rs) HACC_REQUIRES(mu_);
+  // Runs stage `idx`'s body (unlocked), then settles it and unblocks / skips
+  // dependents under mu_.
+  void execute_stage(RunState& rs, std::size_t idx);
+  void settle_locked(RunState& rs, std::size_t idx, bool failed)
+      HACC_REQUIRES(mu_);
+
+  util::Mutex mu_;
+  util::CondVar cv_state_;  // any state change: run published, stage settled,
+                            // stage ready, stop
+  RunState* run_ HACC_GUARDED_BY(mu_) = nullptr;
+  bool stop_ HACC_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> lanes_;
+};
+
+}  // namespace hacc::sched

@@ -3,20 +3,139 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace hacc::tree {
 
 using util::Vec3d;
 
+namespace {
+
+// AABB of the slots [begin, end) under the tree permutation — the exact loop
+// the serial build runs, factored out so the level-parallel pass and refresh
+// produce bit-identical boxes.
+void scan_aabb(std::span<const Vec3d> pos, const std::vector<std::int32_t>& order,
+               std::int32_t begin, std::int32_t end, Vec3d& lo, Vec3d& hi) {
+  lo = Vec3d(std::numeric_limits<double>::max());
+  hi = Vec3d(std::numeric_limits<double>::lowest());
+  for (std::int32_t k = begin; k < end; ++k) {
+    const Vec3d& p = pos[order[k]];
+    for (int a = 0; a < 3; ++a) {
+      lo[a] = std::min(lo[a], p[a]);
+      hi[a] = std::max(hi[a], p[a]);
+    }
+  }
+}
+
+}  // namespace
+
 RcbTree::RcbTree(std::span<const Vec3d> pos, double box, int leaf_size)
-    : box_(box), leaf_size_(std::max(1, leaf_size)) {
+    : RcbTree(pos, box, leaf_size, nullptr) {}
+
+RcbTree::RcbTree(std::span<const Vec3d> pos, double box, int leaf_size,
+                 util::ThreadPool& pool)
+    : RcbTree(pos, box, leaf_size, &pool) {}
+
+RcbTree::RcbTree(std::span<const Vec3d> pos, double box, int leaf_size,
+                 util::ThreadPool* pool)
+    : box_(box), leaf_size_(std::max(1, leaf_size)), pool_(pool) {
   order_.resize(pos.size());
   std::iota(order_.begin(), order_.end(), 0);
   slot_leaf_.resize(pos.size());
   if (!pos.empty()) {
-    root_ = build(0, static_cast<std::int32_t>(pos.size()), pos);
+    if (pool_ != nullptr) {
+      std::vector<int> depths;
+      root_ = build_topology(0, static_cast<std::int32_t>(pos.size()), 0, depths);
+      fill_levels(pos, depths);
+    } else {
+      root_ = build(0, static_cast<std::int32_t>(pos.size()), pos);
+    }
+  }
+  leaf_nodes_.resize(leaves_.size());
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(nodes_.size()); ++i) {
+    if (nodes_[i].is_leaf()) leaf_nodes_[nodes_[i].leaf] = i;
+  }
+}
+
+std::int32_t RcbTree::build_topology(std::int32_t begin, std::int32_t end,
+                                     int depth, std::vector<int>& depths) {
+  // Mirrors build()'s index assignment exactly: pre-order node numbering,
+  // leaves numbered in slot order, children pushed after their parent.  No
+  // positions are read — the split point is always the median slot.
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  const std::int32_t self = static_cast<std::int32_t>(nodes_.size());
+  if (end - begin <= leaf_size_) {
+    Leaf leaf;
+    leaf.begin = begin;
+    leaf.end = end;
+    node.leaf = static_cast<std::int32_t>(leaves_.size());
+    leaves_.push_back(leaf);
+    for (std::int32_t k = begin; k < end; ++k) slot_leaf_[k] = node.leaf;
+    nodes_.push_back(node);
+    depths.push_back(depth);
+    return self;
+  }
+  nodes_.push_back(node);
+  depths.push_back(depth);
+  const std::int32_t mid = begin + (end - begin) / 2;
+  const std::int32_t left = build_topology(begin, mid, depth + 1, depths);
+  const std::int32_t right = build_topology(mid, end, depth + 1, depths);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+void RcbTree::fill_levels(std::span<const Vec3d> pos,
+                          const std::vector<int>& depths) {
+  // Bucket node indices by depth, preserving index order within a level.
+  int max_depth = 0;
+  for (const int d : depths) max_depth = std::max(max_depth, d);
+  std::vector<std::vector<std::int32_t>> levels(max_depth + 1);
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(nodes_.size()); ++i) {
+    levels[depths[i]].push_back(i);
+  }
+
+  // Top-down level sweep.  A node's AABB scan and nth_element need its slot
+  // range's content finalized, which happens exactly when every ancestor's
+  // nth_element has run — i.e. when all shallower levels are done, which the
+  // parallel_for barrier guarantees.  Within a level the slot ranges are
+  // pairwise disjoint, so the splits and box writes never race, and each
+  // node runs the same deterministic code over the same data as the serial
+  // recursion — the result is bit-identical for any thread count.
+  for (const auto& level : levels) {
+    // shared: nodes_/leaves_/order_ — each iteration owns one node: its own
+    // nodes_/leaves_ entries and a slot range disjoint from every other
+    // node's on this level.
+    pool_->parallel_for(static_cast<std::int64_t>(level.size()), [&](std::int64_t li) {
+      Node& node = nodes_[level[static_cast<std::size_t>(li)]];
+      scan_aabb(pos, order_, node.begin, node.end, node.lo, node.hi);
+      if (node.is_leaf()) {
+        leaves_[node.leaf].lo = node.lo;
+        leaves_[node.leaf].hi = node.hi;
+        return;
+      }
+      // Split along the longest axis at the median slot (strict > keeps the
+      // serial build's tie rule: ties pick the lowest axis).
+      int axis = 0;
+      double extent = node.hi[0] - node.lo[0];
+      for (int a = 1; a < 3; ++a) {
+        if (node.hi[a] - node.lo[a] > extent) {
+          extent = node.hi[a] - node.lo[a];
+          axis = a;
+        }
+      }
+      const std::int32_t mid = node.begin + (node.end - node.begin) / 2;
+      std::nth_element(order_.begin() + node.begin, order_.begin() + mid,
+                       order_.begin() + node.end, [&](std::int32_t i, std::int32_t j) {
+                         return pos[i][axis] < pos[j][axis];
+                       });
+    });
   }
 }
 
@@ -76,20 +195,39 @@ void RcbTree::refresh(std::span<const Vec3d> pos) {
         "RcbTree::refresh(): position count does not match the particle "
         "count the tree was built from");
   }
+  if (pool_ != nullptr) {
+    // Leaf AABBs only depend on the (fixed) permutation and the positions,
+    // so the per-leaf scans are independent; results are bit-identical to
+    // the serial sweep because each leaf runs the identical scan loop.
+    // shared: nodes_/leaves_ — each iteration owns one leaf's AABB entries;
+    // the upward merge below starts after the pool barrier.
+    pool_->parallel_for(static_cast<std::int64_t>(leaf_nodes_.size()),
+                        [&](std::int64_t li) {
+                          Node& n = nodes_[leaf_nodes_[static_cast<std::size_t>(li)]];
+                          scan_aabb(pos, order_, n.begin, n.end, n.lo, n.hi);
+                          leaves_[n.leaf].lo = n.lo;
+                          leaves_[n.leaf].hi = n.hi;
+                        });
+    // Children carry larger indices than their parents, so a reverse-index
+    // sweep sees both children before every internal node.
+    for (std::int32_t i = static_cast<std::int32_t>(nodes_.size()) - 1; i >= 0; --i) {
+      Node& n = nodes_[i];
+      if (n.is_leaf()) continue;
+      const Node& l = nodes_[n.left];
+      const Node& r = nodes_[n.right];
+      for (int a = 0; a < 3; ++a) {
+        n.lo[a] = std::min(l.lo[a], r.lo[a]);
+        n.hi[a] = std::max(l.hi[a], r.hi[a]);
+      }
+    }
+    return;
+  }
   // Children carry larger indices than their parents, so a reverse-index
   // sweep sees both children before every internal node.
   for (std::int32_t i = static_cast<std::int32_t>(nodes_.size()) - 1; i >= 0; --i) {
     Node& n = nodes_[i];
     if (n.is_leaf()) {
-      n.lo = Vec3d(std::numeric_limits<double>::max());
-      n.hi = Vec3d(std::numeric_limits<double>::lowest());
-      for (std::int32_t k = n.begin; k < n.end; ++k) {
-        const Vec3d& p = pos[order_[k]];
-        for (int a = 0; a < 3; ++a) {
-          n.lo[a] = std::min(n.lo[a], p[a]);
-          n.hi[a] = std::max(n.hi[a], p[a]);
-        }
-      }
+      scan_aabb(pos, order_, n.begin, n.end, n.lo, n.hi);
       leaves_[n.leaf].lo = n.lo;
       leaves_[n.leaf].hi = n.hi;
     } else {

@@ -8,12 +8,24 @@
 //
 // Periodic boundaries are handled with minimum-image distances between
 // leaf bounding boxes when enumerating interacting leaf pairs.
+//
+// Construction optionally takes a util::ThreadPool and then builds the
+// median splits level-parallel.  The parallel build is bit-identical to the
+// serial one for ANY thread count: the tree topology (node indices, leaf
+// numbering, slot ranges) depends only on range sizes, every node's AABB
+// scan and nth_element run over exactly the range content the serial
+// recursion would see (ancestors complete before descendants; siblings own
+// disjoint ranges), and nth_element is deterministic for a fixed input.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "util/vec3.hpp"
+
+namespace hacc::util {
+class ThreadPool;
+}  // namespace hacc::util
 
 namespace hacc::tree {
 
@@ -52,6 +64,12 @@ class RcbTree {
 
   // Builds from positions in [0, box)^3.  leaf_size bounds leaf occupancy.
   RcbTree(std::span<const util::Vec3d> pos, double box, int leaf_size);
+
+  // Level-parallel build on `pool`; bit-identical to the serial constructor
+  // for any thread count (see file comment).  The pool is remembered and
+  // reused by refresh() for the per-leaf AABB pass; it must outlive the tree.
+  RcbTree(std::span<const util::Vec3d> pos, double box, int leaf_size,
+          util::ThreadPool& pool);
 
   double box() const { return box_; }
   int leaf_size() const { return leaf_size_; }
@@ -99,8 +117,20 @@ class RcbTree {
   }
 
  private:
+  RcbTree(std::span<const util::Vec3d> pos, double box, int leaf_size,
+          util::ThreadPool* pool);
+
   std::int32_t build(std::int32_t begin, std::int32_t end,
                      std::span<const util::Vec3d> pos);
+  // Parallel-build phase 0: allocate every node/leaf with the exact indices,
+  // slot ranges, and leaf numbering the serial recursion would produce —
+  // topology depends only on range sizes, never on the positions.  Records
+  // each node's depth for the level scheduler.
+  std::int32_t build_topology(std::int32_t begin, std::int32_t end, int depth,
+                              std::vector<int>& depths);
+  // Parallel-build phase 1: per-level AABB scans and median splits.
+  void fill_levels(std::span<const util::Vec3d> pos,
+                   const std::vector<int>& depths);
   double node_distance(const Node& a, const Node& b) const;
 
   template <typename Visitor>
@@ -138,10 +168,12 @@ class RcbTree {
 
   double box_;
   int leaf_size_;
+  util::ThreadPool* pool_ = nullptr;  // optional; set by the parallel ctor
   std::vector<std::int32_t> order_;
   std::vector<Leaf> leaves_;
   std::vector<std::int32_t> slot_leaf_;
   std::vector<Node> nodes_;
+  std::vector<std::int32_t> leaf_nodes_;  // node index of each leaf
   std::int32_t root_ = -1;
 };
 

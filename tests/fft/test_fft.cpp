@@ -302,5 +302,65 @@ TEST(Fft3DThreads, ResultIndependentOfThreadCount) {
   }
 }
 
+TEST(Fft3DThreads, R2CPipelineBitIdenticalAcrossThreadCounts) {
+  // The real-field path (Hermitian pack, untangle, half-spectrum layout)
+  // partitions pencils over the pool with no shared accumulation, so an
+  // 8-thread transform must reproduce the serial one bit for bit — both the
+  // forward half spectrum and the c2r reconstruction.
+  constexpr int n = 16;
+  util::ThreadPool p1(1), p8(8);
+  const Fft3D f1(n, p1), f8(n, p8);
+  util::CounterRng rng(57);
+  std::vector<double> field(f1.size());
+  for (std::size_t i = 0; i < field.size(); ++i) field[i] = rng.normal(i);
+
+  std::vector<cplx> half1, half8;
+  f1.forward_r2c(field, half1);
+  f8.forward_r2c(field, half8);
+  ASSERT_EQ(half1.size(), half8.size());
+  for (std::size_t i = 0; i < half1.size(); ++i) {
+    ASSERT_EQ(half1[i].real(), half8[i].real()) << i;
+    ASSERT_EQ(half1[i].imag(), half8[i].imag()) << i;
+  }
+
+  std::vector<double> back1(field.size()), back8(field.size());
+  f1.inverse_c2r(half1, back1);
+  f8.inverse_c2r(half8, back8);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    ASSERT_EQ(back1[i], back8[i]) << i;
+    ASSERT_NEAR(back1[i], field[i], 1e-12 * std::abs(field[i]) + 1e-12) << i;
+  }
+}
+
+TEST(Fft3DThreads, SharedTwiddleTableIsSafeUnderConcurrentTransforms) {
+  // Eight pool threads hammer the same 1024-point twiddle table (read-only
+  // after construction) with independent 1-D transforms; every result must
+  // be bitwise equal to the same transform run serially.
+  constexpr int n = 1024;
+  const Twiddles& tw = twiddles_for(n);
+  constexpr int kRuns = 32;
+  std::vector<std::vector<cplx>> serial(kRuns), threaded(kRuns);
+  for (int r = 0; r < kRuns; ++r) {
+    util::CounterRng rng(200 + r);
+    serial[r].resize(n);
+    for (int i = 0; i < n; ++i) {
+      serial[r][i] = {rng.normal(i), rng.uniform(i)};
+    }
+    threaded[r] = serial[r];
+    fft_1d(serial[r].data(), n, r % 2 == 1, tw);
+  }
+  util::ThreadPool pool(8);
+  // shared: disjoint `threaded` entries per index; `tw` is read-only.
+  pool.parallel_for(kRuns, [&](std::size_t r) {
+    fft_1d(threaded[r].data(), n, r % 2 == 1, tw);
+  });
+  for (int r = 0; r < kRuns; ++r) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(serial[r][i].real(), threaded[r][i].real()) << r << ":" << i;
+      ASSERT_EQ(serial[r][i].imag(), threaded[r][i].imag()) << r << ":" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hacc::fft

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hacc::tree {
 namespace {
@@ -339,6 +340,92 @@ TEST(RcbRefresh, RejectsMismatchedParticleCount) {
   RcbTree tree(pos, 10.0, 8);
   const auto fewer = random_positions(49, 10.0, 83);
   EXPECT_THROW(tree.refresh(fewer), std::invalid_argument);
+}
+
+// The level-parallel build promises bitwise identity with the serial
+// constructor for any pool size: identical topology (node indexing, leaf
+// numbering, slot ranges), identical permutation, and identical AABBs —
+// nth_element on the same range with the same comparator is deterministic,
+// and the level barrier reproduces the serial ancestor-before-descendant
+// order.  CONCURRENCY.md row: tree build.
+void expect_trees_identical(const RcbTree& a, const RcbTree& b) {
+  ASSERT_EQ(a.root(), b.root());
+  ASSERT_EQ(a.order(), b.order());
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    const auto& na = a.nodes()[i];
+    const auto& nb = b.nodes()[i];
+    EXPECT_EQ(na.begin, nb.begin);
+    EXPECT_EQ(na.end, nb.end);
+    EXPECT_EQ(na.left, nb.left);
+    EXPECT_EQ(na.right, nb.right);
+    EXPECT_EQ(na.leaf, nb.leaf);
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(na.lo[axis], nb.lo[axis]) << "node " << i;
+      EXPECT_EQ(na.hi[axis], nb.hi[axis]) << "node " << i;
+    }
+  }
+  ASSERT_EQ(a.leaves().size(), b.leaves().size());
+  for (std::size_t l = 0; l < a.leaves().size(); ++l) {
+    const auto& la = a.leaves()[l];
+    const auto& lb = b.leaves()[l];
+    EXPECT_EQ(la.begin, lb.begin);
+    EXPECT_EQ(la.end, lb.end);
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(la.lo[axis], lb.lo[axis]) << "leaf " << l;
+      EXPECT_EQ(la.hi[axis], lb.hi[axis]) << "leaf " << l;
+    }
+  }
+  for (std::int32_t k = 0; k < static_cast<std::int32_t>(a.order().size());
+       ++k) {
+    ASSERT_EQ(a.leaf_of_slot(k), b.leaf_of_slot(k));
+  }
+}
+
+class RcbParallelBuild : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, RcbParallelBuild,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST_P(RcbParallelBuild, BuildIsBitIdenticalToSerial) {
+  util::ThreadPool pool(GetParam());
+  for (const int n : {1, 33, 200, 1000}) {
+    const auto pos = random_positions(n, 10.0, 90 + n);
+    const RcbTree serial(pos, 10.0, 16);
+    const RcbTree parallel(pos, 10.0, 16, pool);
+    expect_trees_identical(serial, parallel);
+  }
+}
+
+TEST_P(RcbParallelBuild, RefreshIsBitIdenticalToSerial) {
+  util::ThreadPool pool(GetParam());
+  auto pos = random_positions(500, 10.0, 77);
+  RcbTree serial(pos, 10.0, 16);
+  RcbTree parallel(pos, 10.0, 16, pool);
+  util::CounterRng rng(123);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      for (int axis = 0; axis < 3; ++axis) {
+        pos[i][axis] += 0.2 * (rng.uniform(3 * i + axis + 1000 * round) - 0.5);
+        if (pos[i][axis] < 0.0) pos[i][axis] += 10.0;
+        if (pos[i][axis] >= 10.0) pos[i][axis] -= 10.0;
+      }
+    }
+    serial.refresh(pos);
+    parallel.refresh(pos);
+    expect_trees_identical(serial, parallel);
+  }
+}
+
+TEST(RcbParallelBuildEdgeCases, DuplicateAndEmptyInputsMatchSerial) {
+  util::ThreadPool pool(4);
+  const std::vector<Vec3d> dup(100, Vec3d{5.0, 5.0, 5.0});
+  expect_trees_identical(RcbTree(dup, 10.0, 8), RcbTree(dup, 10.0, 8, pool));
+  const std::vector<Vec3d> none;
+  expect_trees_identical(RcbTree(none, 10.0, 8), RcbTree(none, 10.0, 8, pool));
 }
 
 TEST(RcbEdgeCases, DuplicatePositionsDoNotBreakSplit) {
