@@ -213,7 +213,13 @@ void gradient_accuracy(util::ThreadPool& pool, AccuracyRow rows[3]) {
   }
 }
 
+struct ThreadPoint {
+  int threads = 1;
+  double total_ms = 0.0;  // best spectral 128^3 solve on that pool width
+};
+
 void write_bench_json(const PmRun runs[3], const AccuracyRow rows[3],
+                      const std::vector<ThreadPoint>& thread_sweep,
                       unsigned threads) {
   const char* path = std::getenv("HACC_BENCH_JSON");
   if (path == nullptr) path = "BENCH_pm.json";
@@ -228,6 +234,13 @@ void write_bench_json(const PmRun runs[3], const AccuracyRow rows[3],
   std::fprintf(f, "  \"grid\": %d,\n  \"particles\": 4096,\n  \"box\": %.1f,\n",
                kBreakdownGrid, kBox);
   std::fprintf(f, "  \"threads\": %u,\n", threads);
+  std::fprintf(f, "  \"threads_sweep\": [\n");
+  for (std::size_t i = 0; i < thread_sweep.size(); ++i) {
+    std::fprintf(f, "    {\"threads\": %d, \"spectral_total_ms\": %.3f}%s\n",
+                 thread_sweep[i].threads, thread_sweep[i].total_ms,
+                 i + 1 < thread_sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"gradients\": {\n");
   for (int g = 0; g < 3; ++g) {
     const auto& t = runs[g].times;
@@ -300,7 +313,20 @@ void print_summary() {
                 rows[g].vs_spectral);
   }
 
-  write_bench_json(runs, rows, pool.size());
+  hacc::bench::print_header("PM solve thread scaling (grid 128^3, spectral)");
+  std::vector<ThreadPoint> thread_sweep;
+  for (const int n_threads : {1, 2, 4, 8}) {
+    util::ThreadPool tp(static_cast<unsigned>(n_threads));
+    ThreadPoint pt;
+    pt.threads = n_threads;
+    pt.total_ms =
+        1e3 * time_pm(kBreakdownGrid, gravity::PmGradient::kSpectral, tp)
+                  .best_total;
+    thread_sweep.push_back(pt);
+    std::printf("%d threads: %.2f ms\n", pt.threads, pt.total_ms);
+  }
+
+  write_bench_json(runs, rows, thread_sweep, pool.size());
 
   hacc::bench::print_header("Gravity ablation: polynomial split-force accuracy");
   const gravity::SplitForce split(1.0);

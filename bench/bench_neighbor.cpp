@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include "bench_common.hpp"
 #include "domain/domain.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -143,11 +145,17 @@ struct SweepRecord {
   double phase_ms = 0.0;   // total tree + pairs time over the sweep steps
 };
 
+struct ThreadRecord {
+  int threads = 1;
+  double build_ms = 0.0;  // best-of-3 cold build on a pool of that width
+};
+
 struct NeighborReport {
   int n_side = 0;
-  double build_ms = 0.0;     // one cold tree build
+  double build_ms = 0.0;     // one cold tree build (no pool)
   double reuse_ms = 0.0;     // one refresh-path update
   double pairs_per_s = 0.0;  // streamed traversal throughput
+  std::vector<ThreadRecord> thread_sweep;
   std::vector<SweepRecord> sweep;
 };
 
@@ -177,6 +185,27 @@ NeighborReport measure_report() {
     dom.update(set.pos);
     rep.reuse_ms = 1e3 * (util::wtime() - t0);
   }
+  // Level-parallel build scaling: the same cold build on pools of widths
+  // 1/2/4/8 (the tree build parallelized across top levels in the
+  // task-graph PR; this records how that lands on the current machine).
+  for (const int n_threads : {1, 2, 4, 8}) {
+    util::ThreadPool pool(static_cast<unsigned>(n_threads));
+    const DriftingSet set(rep.n_side);
+    domain::DomainOptions opt =
+        domain_options(0.0, domain::RebuildPolicy::kAlways);
+    opt.pool = &pool;
+    ThreadRecord rec;
+    rec.threads = n_threads;
+    rec.build_ms = 1e30;
+    for (int r = 0; r < 3; ++r) {
+      domain::InteractionDomain dom(opt);
+      const double t0 = util::wtime();
+      dom.update(set.pos);
+      rec.build_ms = std::min(rec.build_ms, 1e3 * (util::wtime() - t0));
+    }
+    rep.thread_sweep.push_back(rec);
+  }
+
   {  // streamed traversal throughput
     const DriftingSet set(rep.n_side);
     domain::InteractionDomain dom(
@@ -232,6 +261,13 @@ void write_bench_json(const NeighborReport& rep) {
   std::fprintf(f, "  \"build_ms\": %.4f,\n", rep.build_ms);
   std::fprintf(f, "  \"reuse_ms\": %.4f,\n", rep.reuse_ms);
   std::fprintf(f, "  \"pairs_per_s\": %.3e,\n", rep.pairs_per_s);
+  std::fprintf(f, "  \"build_threads_sweep\": [\n");
+  for (std::size_t i = 0; i < rep.thread_sweep.size(); ++i) {
+    const ThreadRecord& r = rep.thread_sweep[i];
+    std::fprintf(f, "    {\"threads\": %d, \"build_ms\": %.4f}%s\n", r.threads,
+                 r.build_ms, i + 1 < rep.thread_sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"skin_sweep\": [\n");
   for (std::size_t i = 0; i < rep.sweep.size(); ++i) {
     const SweepRecord& r = rep.sweep[i];
@@ -256,6 +292,11 @@ void print_summary() {
               rep.reuse_ms,
               rep.reuse_ms > 0.0 ? rep.build_ms / rep.reuse_ms : 0.0,
               rep.pairs_per_s);
+  std::printf("build threads sweep:");
+  for (const ThreadRecord& r : rep.thread_sweep) {
+    std::printf("  %dt %.3f ms", r.threads, r.build_ms);
+  }
+  std::printf("\n");
   std::printf("%-9s %8s %8s %12s\n", "skin/dx", "builds", "reuses", "phase ms");
   const double baseline = rep.sweep.empty() ? 0.0 : rep.sweep.front().phase_ms;
   for (const SweepRecord& r : rep.sweep) {

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file
+/// Message passing between shards.  Shards never touch each other's state:
+/// every cross-shard byte — migrating particles, ghost-halo loads, the
+/// per-kernel ghost field refreshes of the SPH chain — travels as a typed
+/// `Message` through a `Transport`.  The in-process implementation is a
+/// mailbox per endpoint behind an annotated mutex; an MPI transport is a
+/// drop-in replacement of this one interface (SPH-EXA's USE_MPI seam is
+/// the model), which is why the engine is written strictly in
+/// pack / send / barrier / drain phases.
+///
+/// Delivery discipline: the engine alternates send and drain phases with a
+/// barrier between them (a pool join in-process; MPI_Waitall under MPI), so
+/// a drain sees every message of the phase.  drain() returns messages
+/// sorted by (sender, tag) — arrival order is scheduling noise and MUST
+/// NOT leak into physics, so the sort is part of the transport contract.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace hacc::shard {
+
+/// What a message carries — the tag decides how the payload is unpacked.
+enum class MsgKind : std::uint8_t {
+  kMigrate,       ///< resident handover: global particle ids
+  kGhostLoad,     ///< halo build: ids + packed per-particle fields
+  kGhostRefresh,  ///< mid-evaluation field update for an existing halo
+};
+
+/// One typed shard-to-shard message.  `ids` are global particle ids (the
+/// combined dm-then-gas addressing of the engine); `payload` is the packed
+/// field data, `words` floats per particle, in id order.
+struct Message {
+  MsgKind kind = MsgKind::kMigrate;
+  int from = -1;
+  int to = -1;
+  /// Disambiguates streams within one phase (species, refresh round).
+  std::uint32_t tag = 0;
+  std::uint32_t words = 0;  ///< floats per particle in `payload`
+  std::vector<std::int64_t> ids;
+  std::vector<float> payload;
+
+  std::size_t bytes() const {
+    return ids.size() * sizeof(std::int64_t) + payload.size() * sizeof(float);
+  }
+};
+
+/// Cumulative traffic counters (BENCH_shard.json and the shard metrics).
+struct TransportStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// A thread-safe message queue for one endpoint.
+class Mailbox {
+ public:
+  void post(Message&& m);
+  /// Removes and returns everything posted so far, sorted by (from, tag).
+  std::vector<Message> drain();
+  std::size_t pending() const;
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<Message> queue_ HACC_GUARDED_BY(mu_);
+};
+
+/// The seam: endpoints 0..size()-1, one mailbox each.  send() may be called
+/// concurrently from any thread; receive(rank) must not race itself for the
+/// same rank (the engine's phase barriers guarantee that).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual int size() const = 0;
+  /// Routes m to endpoint m.to; throws std::out_of_range on a bad rank.
+  virtual void send(Message&& m) = 0;
+  /// Drains endpoint `rank`'s mailbox (sorted — see Mailbox::drain).
+  virtual std::vector<Message> receive(int rank) = 0;
+  virtual TransportStats stats() const = 0;
+};
+
+/// The in-process implementation: N mailboxes, zero copies beyond the move.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int size);
+
+  int size() const override { return static_cast<int>(boxes_.size()); }
+  void send(Message&& m) override;
+  std::vector<Message> receive(int rank) override;
+  TransportStats stats() const override;
+
+ private:
+  std::vector<Mailbox> boxes_;
+  mutable util::Mutex stats_mu_;
+  TransportStats stats_ HACC_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace hacc::shard

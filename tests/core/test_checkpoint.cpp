@@ -29,8 +29,15 @@ ParticleSet random_particles(std::size_t n, std::uint64_t seed) {
 
 class CheckpointTest : public ::testing::Test {
  protected:
+  // Parallel ctest runs each case as its own process; a shared filename
+  // lets concurrent cases clobber each other's checkpoint mid-read.
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/crkhacc_ckpt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+  }
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/crkhacc_ckpt_test.bin";
+  std::string path_;
 };
 
 TEST_F(CheckpointTest, RoundTripPreservesEverything) {
